@@ -1,0 +1,105 @@
+// Reproduces Fig. 4: box-and-whisker statistics (min / q1 / median / q3 /
+// max) of dynamic edge-cut and dynamic balance, plus total moves, for the
+// five methods over the four 2017 periods the paper uses, in
+// configurations with 2 and 8 shards.
+//
+// Expected shape (paper): hashing worst cut / best balance / zero moves;
+// METIS best cut / worst balance / most moves; R-METIS balances better
+// with far fewer moves; TR-METIS like R-METIS with yet fewer moves; KL in
+// between, many moves.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace ethshard;
+
+struct Period {
+  const char* label;
+  util::Timestamp from;
+  util::Timestamp to;
+};
+
+const Period kPeriods[] = {
+    {"01.17-06.17", util::make_timestamp(2017, 1, 1),
+     util::make_timestamp(2017, 6, 1)},
+    {"06.17-09.17", util::make_timestamp(2017, 6, 1),
+     util::make_timestamp(2017, 9, 1)},
+    {"09.17-12.17", util::make_timestamp(2017, 9, 1),
+     util::make_timestamp(2017, 12, 1)},
+    {"12.17-01.18", util::make_timestamp(2017, 12, 1),
+     util::make_timestamp(2018, 1, 1)},
+};
+
+void print_metric_block(
+    const char* metric,
+    const std::vector<std::pair<core::Method, core::SimulationResult>>& runs,
+    double (*extract)(const core::WindowSample&)) {
+  std::printf("\n  %s (min / q1 / median / q3 / max per period)\n", metric);
+  for (const auto& [method, result] : runs) {
+    std::printf("    %-9s", core::method_name(method).c_str());
+    for (const Period& p : kPeriods) {
+      std::vector<double> vals;
+      for (const core::WindowSample& w :
+           bench::windows_between(result, p.from, p.to))
+        vals.push_back(extract(w));
+      const metrics::Summary s = metrics::summarize(std::move(vals));
+      std::printf("  [%5.3f %5.3f %5.3f %5.3f %5.3f]", s.min, s.q1,
+                  s.median, s.q3, s.max);
+    }
+    std::printf("\n");
+  }
+  std::printf("    periods:");
+  for (const Period& p : kPeriods) std::printf("  %-37s", p.label);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_from_env();
+  const std::uint64_t seed = bench::seed_from_env();
+  const workload::History history = bench::make_history(scale, seed);
+
+  for (std::uint32_t k : {2u, 8u}) {
+    bench::print_header("Fig. 4 — five methods, k=" + std::to_string(k) +
+                        ", 2017 periods");
+
+    const std::vector<core::Method> methods(std::begin(core::kAllMethods),
+                                            std::end(core::kAllMethods));
+    const auto results = util::parallel_map(
+        methods,
+        [&](core::Method m) { return bench::simulate(history, m, k); });
+    std::vector<std::pair<core::Method, core::SimulationResult>> runs;
+    for (std::size_t i = 0; i < methods.size(); ++i)
+      runs.emplace_back(methods[i], results[i]);
+
+    print_metric_block("Dynamic edge-cut", runs,
+                       [](const core::WindowSample& w) {
+                         return w.dynamic_edge_cut;
+                       });
+    print_metric_block("Dynamic balance", runs,
+                       [](const core::WindowSample& w) {
+                         return w.dynamic_balance;
+                       });
+
+    std::printf("\n  Moves per period (and total)\n");
+    for (const auto& [method, result] : runs) {
+      std::printf("    %-9s", core::method_name(method).c_str());
+      for (const Period& p : kPeriods)
+        std::printf("  %12llu",
+                    static_cast<unsigned long long>(
+                        bench::moves_between(result, p.from, p.to)));
+      std::printf("  | total %12llu\n",
+                  static_cast<unsigned long long>(result.total_moves));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Paper shape check: Hashing zero moves & worst cut; METIS "
+              "best cut, worst balance, most moves; TR-METIS moves << "
+              "R-METIS moves << METIS moves.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// One-shot reproduction report.
+//
+// Regenerates the paper's entire evaluation as a single markdown document
+// on stdout — workload characterization (Fig. 1), the method × shard grid
+// (Figs. 4/5), the §II-C hashing claims, the throughput implication of §I
+// and the attack counterfactual — ready to `tee` into a results file:
+//
+//   ETHSHARD_SCALE=0.002 ./paper_report | tee report.md
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "workload/analysis.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+using namespace ethshard;
+
+void print_workload_section(const workload::History& history) {
+  const workload::HistoryStats st = workload::stats_of(history);
+  const workload::WorkloadReport wr = workload::analyze_workload(history);
+
+  std::printf("## Workload (synthetic stand-in for the paper's trace)\n\n");
+  std::printf("| metric | value |\n|---|---|\n");
+  std::printf("| blocks | %llu |\n",
+              static_cast<unsigned long long>(st.blocks));
+  std::printf("| transactions | %llu |\n",
+              static_cast<unsigned long long>(st.transactions));
+  std::printf("| interactions (calls) | %llu |\n",
+              static_cast<unsigned long long>(st.calls));
+  std::printf("| accounts / contracts | %llu / %llu |\n",
+              static_cast<unsigned long long>(st.accounts),
+              static_cast<unsigned long long>(st.contracts));
+  std::printf("| activity gini | %.3f |\n", wr.activity_gini);
+  std::printf("| top-1%% activity share | %.3f |\n", wr.top1pct_share);
+  std::printf("| single-touch vertices | %llu (%.0f%%) |\n",
+              static_cast<unsigned long long>(wr.single_touch_vertices),
+              100.0 * static_cast<double>(wr.single_touch_vertices) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, wr.total_vertices)));
+  std::printf("| attack-era new accounts | %llu |\n\n",
+              static_cast<unsigned long long>(wr.attack.new_accounts));
+}
+
+void print_grid_section(const workload::History& history) {
+  std::printf("## Method × shard grid (Figs. 4/5)\n\n");
+  core::ExperimentConfig cfg;
+  const auto runs = core::run_experiment(history, cfg);
+  std::printf("| method | k | dynCut med | dynBal med | normBal | "
+              "speedup | moves | reparts |\n");
+  std::printf("|---|---|---|---|---|---|---|---|\n");
+  double hash_k2 = 0;
+  double hash_k8 = 0;
+  for (const core::ExperimentRun& r : runs) {
+    std::printf("| %s | %u | %.4f | %.4f | %.4f | %.3f | %llu | %zu |\n",
+                core::method_name(r.method).c_str(), r.k,
+                r.dynamic_edge_cut.median, r.dynamic_balance.median,
+                r.normalized_balance_median, r.throughput.mean_speedup,
+                static_cast<unsigned long long>(r.result.total_moves),
+                r.result.repartitions.size());
+    if (r.method == core::Method::kHashing) {
+      if (r.k == 2) hash_k2 = r.result.executed_cross_shard_fraction;
+      if (r.k == 8) hash_k8 = r.result.executed_cross_shard_fraction;
+    }
+  }
+  std::printf("\n**§II-C check** — hashing executed cross-shard share: "
+              "k=2: %.3f (paper ~0.50), k=8: %.3f (paper ~0.88).\n\n",
+              hash_k2, hash_k8);
+}
+
+void print_counterfactual_section(double scale, std::uint64_t seed) {
+  std::printf("## Attack counterfactual (§III causality)\n\n");
+  std::printf("| history | METIS post-2016 dyn balance | METIS mean cut "
+              "|\n|---|---|---|\n");
+  for (const workload::Preset preset :
+       {workload::Preset::kPaper, workload::Preset::kNoAttack}) {
+    const workload::History history =
+        workload::EthereumHistoryGenerator(
+            workload::preset_config(preset, scale, seed))
+            .generate();
+    const core::SimulationResult r =
+        bench::simulate(history, core::Method::kMetis, 2);
+    double cut = 0;
+    double post_bal = 0;
+    std::size_t post_n = 0;
+    for (const core::WindowSample& w : r.windows) {
+      cut += w.dynamic_edge_cut;
+      if (w.window_start >= util::attack_end_time()) {
+        post_bal += w.dynamic_balance;
+        ++post_n;
+      }
+    }
+    std::printf("| %s | %.4f | %.4f |\n",
+                workload::preset_name(preset).c_str(),
+                post_n ? post_bal / static_cast<double>(post_n) : 1.0,
+                cut / static_cast<double>(r.windows.size()));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_from_env();
+  const std::uint64_t seed = bench::seed_from_env();
+
+  std::printf("# ethshard reproduction report\n\n");
+  std::printf("Paper: *Challenges and Pitfalls of Partitioning "
+              "Blockchains* (Fynn & Pedone, DSN 2018).\n");
+  std::printf("Workload scale %.4g, seed %llu. Absolute numbers are\n"
+              "synthetic-trace values; orderings and ratios are the\n"
+              "reproduction targets (see EXPERIMENTS.md).\n\n",
+              scale, static_cast<unsigned long long>(seed));
+
+  const workload::History history = bench::make_history(scale, seed);
+  print_workload_section(history);
+  print_grid_section(history);
+  print_counterfactual_section(scale, seed);
+
+  std::printf("## Conclusion (paper §IV)\n\n");
+  std::printf(
+      "A clear edge-cut/balance trade-off: hashing balances perfectly but\n"
+      "cuts ~(k-1)/k of interactions; multilevel partitioning cuts far\n"
+      "less but concentrates active vertices after the dummy-account\n"
+      "attack; windowed variants recover balance and slash moves; no\n"
+      "method achieves both low cut and good balance on this workload.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Uses the workload presets to ask "what if the chain had been
+// different?" — the counterfactual companion to the paper's real-trace
+// analysis. Compares METIS on the calibrated history vs a no-attack
+// history, showing how the Sep/Oct-2016 dummy accounts drive the
+// dynamic-balance anomaly of §III.
+//
+//   $ ./counterfactual_analysis
+#include <cstdio>
+
+#include "core/simulator.hpp"
+#include "core/strategies.hpp"
+#include "workload/presets.hpp"
+
+int main() {
+  using namespace ethshard;
+
+  std::printf("%-12s %14s %14s %10s\n", "history", "postAttackBal",
+              "meanDynCut", "moves");
+
+  for (const workload::Preset preset :
+       {workload::Preset::kPaper, workload::Preset::kNoAttack}) {
+    const workload::History history =
+        workload::EthereumHistoryGenerator(
+            workload::preset_config(preset, /*scale=*/0.001, /*seed=*/21))
+            .generate();
+
+    const auto strategy = core::make_strategy(core::Method::kMetis);
+    core::SimulatorConfig cfg;
+    cfg.k = 2;
+    core::ShardingSimulator sim(history, *strategy, cfg);
+    const core::SimulationResult r = sim.run();
+
+    double cut = 0;
+    double post_balance = 0;
+    std::size_t post_windows = 0;
+    for (const core::WindowSample& w : r.windows) {
+      cut += w.dynamic_edge_cut;
+      if (w.window_start >= util::attack_end_time()) {
+        post_balance += w.dynamic_balance;
+        ++post_windows;
+      }
+    }
+    std::printf("%-12s %14.4f %14.4f %10llu\n",
+                workload::preset_name(preset).c_str(),
+                post_windows ? post_balance /
+                                   static_cast<double>(post_windows)
+                             : 1.0,
+                cut / static_cast<double>(r.windows.size()),
+                static_cast<unsigned long long>(r.total_moves));
+  }
+
+  std::printf("\nWith the attack, METIS 'balances' dummies against real\n"
+              "accounts and its dynamic balance pins near 2 (all activity\n"
+              "on one shard). Remove the attack and the anomaly shrinks —\n"
+              "the §III causal story, reproduced counterfactually.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shows how to plug a user-defined sharding strategy into the simulator —
+// the extension point a downstream researcher would use to test a new
+// method against the paper's five.
+//
+// The example strategy ("Sticky") places new vertices with the paper's
+// min-cut rule but never repartitions: an upper bound on placement-only
+// quality (zero moves, like hashing, but topology-aware).
+//
+//   $ ./custom_strategy
+#include <cstdio>
+
+#include "core/placement.hpp"
+#include "core/simulator.hpp"
+#include "core/strategies.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace ethshard;
+
+class StickyMinCutStrategy final : public core::ShardingStrategy {
+ public:
+  std::string name() const override { return "Sticky"; }
+
+  partition::ShardId place(graph::Vertex,
+                           std::span<const partition::ShardId> peers,
+                           const core::SimulatorEnv& env) override {
+    return core::place_min_cut(peers, env.shard_vertex_counts(), env.k());
+  }
+
+  bool should_repartition(const core::WindowSnapshot&,
+                          const core::SimulatorEnv&) override {
+    return false;  // placement-only: vertices never move
+  }
+
+  partition::Partition compute_partition(
+      const core::SimulatorEnv& env) override {
+    return env.current_partition();  // unreachable, but well-defined
+  }
+};
+
+}  // namespace
+
+int main() {
+  workload::GeneratorConfig cfg;
+  cfg.scale = 0.001;
+  cfg.seed = 404;
+  const workload::History history =
+      workload::EthereumHistoryGenerator(cfg).generate();
+
+  std::printf("%-9s %10s %10s %10s %10s\n", "method", "execCut", "statBal",
+              "moves", "reparts");
+
+  // Compare the custom strategy against hashing and R-METIS.
+  StickyMinCutStrategy sticky;
+  core::SimulatorConfig sim_cfg;
+  sim_cfg.k = 4;
+  {
+    core::ShardingSimulator sim(history, sticky, sim_cfg);
+    const core::SimulationResult r = sim.run();
+    std::printf("%-9s %10.4f %10.4f %10llu %10zu\n",
+                r.strategy_name.c_str(), r.executed_cross_shard_fraction,
+                r.final_static_balance,
+                static_cast<unsigned long long>(r.total_moves),
+                r.repartitions.size());
+  }
+  for (core::Method m : {core::Method::kHashing, core::Method::kRMetis}) {
+    const auto strategy = core::make_strategy(m);
+    core::ShardingSimulator sim(history, *strategy, sim_cfg);
+    const core::SimulationResult r = sim.run();
+    std::printf("%-9s %10.4f %10.4f %10llu %10zu\n",
+                r.strategy_name.c_str(), r.executed_cross_shard_fraction,
+                r.final_static_balance,
+                static_cast<unsigned long long>(r.total_moves),
+                r.repartitions.size());
+  }
+
+  std::printf("\nSticky placement beats hashing on cut with zero moves; "
+              "repartitioning methods cut further still.\n");
+  return 0;
+}

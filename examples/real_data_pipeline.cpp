@@ -1,0 +1,69 @@
+// The full real-data adoption path in one file: a (tiny, embedded)
+// BigQuery-style traces export is imported, converted to the native trace
+// format, reloaded and simulated — exactly the steps a user with a real
+// `crypto_ethereum.traces` export would follow via the CLI:
+//
+//   ethshard import   --traces bq.csv --out trace.csv
+//   ethshard simulate --trace trace.csv --method R-METIS --shards 2
+//
+//   $ ./real_data_pipeline
+#include <cstdio>
+#include <sstream>
+
+#include "core/simulator.hpp"
+#include "core/strategies.hpp"
+#include "workload/import.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+// A miniature export: three blocks of activity among six addresses, with
+// a contract call cascade, a plain transfer and a contract creation.
+constexpr const char* kBigQueryCsv = R"(block_number,block_timestamp,transaction_hash,from_address,to_address,value,trace_type,input
+4370000,2017-10-16 05:22:11 UTC,0xt1,0x00000000000000000000000000000000000000a1,0x00000000000000000000000000000000000000c1,0,call,0xa9059cbb
+4370000,2017-10-16 05:22:11 UTC,0xt1,0x00000000000000000000000000000000000000c1,0x00000000000000000000000000000000000000a2,7,call,0x
+4370000,2017-10-16 05:22:11 UTC,0xt2,0x00000000000000000000000000000000000000a3,0x00000000000000000000000000000000000000a2,100,call,0x
+4370001,2017-10-16 05:22:26 UTC,0xt3,0x00000000000000000000000000000000000000a1,0x00000000000000000000000000000000000000c2,0,create,0x6080
+4370002,2017-10-16 05:22:41 UTC,0xt4,0x00000000000000000000000000000000000000a2,0x00000000000000000000000000000000000000c1,0,call,0x23b872dd
+)";
+
+}  // namespace
+
+int main() {
+  using namespace ethshard;
+
+  // 1. Import the export.
+  std::istringstream bq(kBigQueryCsv);
+  const workload::ImportResult imported =
+      workload::import_bigquery_traces(bq);
+  std::printf("imported: %llu calls, %llu txs, %llu blocks, %llu accounts "
+              "(%llu skipped rows)\n",
+              static_cast<unsigned long long>(imported.stats.imported_calls),
+              static_cast<unsigned long long>(imported.stats.transactions),
+              static_cast<unsigned long long>(imported.stats.blocks),
+              static_cast<unsigned long long>(imported.stats.accounts),
+              static_cast<unsigned long long>(imported.stats.skipped_rows));
+
+  // 2. Round-trip through the native trace format (what the CLI writes).
+  std::stringstream native;
+  workload::write_trace(native, imported.history);
+  const workload::History reloaded = workload::read_trace(native);
+  std::printf("native trace round-trip: chain validates: %s\n",
+              reloaded.chain.validate() ? "yes" : "NO");
+
+  // 3. Simulate sharding on it.
+  const auto strategy = core::make_strategy(core::Method::kHashing);
+  core::SimulatorConfig cfg;
+  cfg.k = 2;
+  core::ShardingSimulator sim(reloaded, *strategy, cfg);
+  const core::SimulationResult r = sim.run();
+  std::printf("simulated %s k=2: %llu interactions, executed cross-shard "
+              "fraction %.3f\n",
+              r.strategy_name.c_str(),
+              static_cast<unsigned long long>(r.interactions),
+              r.executed_cross_shard_fraction);
+
+  std::printf("\nSwap the embedded CSV for a real BigQuery export and this\n"
+              "pipeline reproduces the paper's analysis on the real chain.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extracts a neighbourhood of the early blockchain graph and prints it as
+// Graphviz DOT, in the style of the paper's Fig. 2 (solid accounts,
+// dashed contracts, weighted edges). Pipe into `dot -Tpng` to render.
+//
+//   $ ./subgraph_dot > fig2.dot
+#include <cstdio>
+#include <iostream>
+
+#include "graph/builder.hpp"
+#include "graph/dot.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace ethshard;
+
+  workload::GeneratorConfig cfg;
+  cfg.scale = 0.001;
+  cfg.seed = 77;
+  // Only generate the first few months — enough for a Fig. 2-sized graph.
+  cfg.model.end = util::make_timestamp(2015, 10, 1);
+  const workload::History history =
+      workload::EthereumHistoryGenerator(cfg).generate();
+
+  graph::GraphBuilder builder;
+  for (const eth::Block& b : history.chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        builder.ensure_vertices(std::max(c.from, c.to) + 1, 1);
+        builder.add_edge(c.from, c.to, 1);
+      }
+  const graph::Graph g = builder.build_directed();
+
+  // Select the busiest contract and its 2-hop neighbourhood (≤ 20 nodes).
+  graph::Vertex hub = 0;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    if (g.degree(v) > g.degree(hub) &&
+        history.accounts.info(v).kind == eth::AccountKind::kContract)
+      hub = v;
+
+  std::vector<graph::Vertex> selection = {hub};
+  std::vector<bool> chosen(g.num_vertices(), false);
+  chosen[hub] = true;
+  for (std::size_t i = 0; i < selection.size() && selection.size() < 20; ++i)
+    for (const graph::Arc& a : g.neighbors(selection[i]))
+      if (selection.size() < 20 && !chosen[a.to]) {
+        chosen[a.to] = true;
+        selection.push_back(a.to);
+      }
+
+  const graph::Graph sub = g.induced_subgraph(selection);
+  graph::DotOptions opts;
+  opts.name = "early_ethereum";
+  opts.is_contract = [&](graph::Vertex local) {
+    return history.accounts.info(selection[local]).kind ==
+           eth::AccountKind::kContract;
+  };
+  opts.label = [&](graph::Vertex local) {
+    return std::to_string(selection[local]);
+  };
+  graph::write_dot(std::cout, sub, opts);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Sweeps TR-METIS's repartitioning thresholds and reports the trade-off
+// the paper motivates in §II-C: lenient thresholds avoid repartitions
+// (fewer moved vertices) at the risk of worse edge-cut/balance; tight
+// thresholds approach R-METIS quality at R-METIS cost.
+//
+//   $ ./threshold_tuning
+#include <cstdio>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/strategies.hpp"
+#include "metrics/summary.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace ethshard;
+
+  workload::GeneratorConfig gen_cfg;
+  gen_cfg.scale = 0.001;
+  gen_cfg.seed = 31;
+  const workload::History history =
+      workload::EthereumHistoryGenerator(gen_cfg).generate();
+
+  struct Setting {
+    double cut_margin;
+    double balance_margin;
+  };
+  const std::vector<Setting> settings = {
+      {0.05, 0.15}, {0.12, 0.40}, {0.25, 0.80}, {0.50, 2.00},
+  };
+
+  std::printf("%-20s %10s %10s %10s %9s\n", "margins(cut,bal)",
+              "medDynCut", "medDynBal", "moves", "reparts");
+
+  for (const Setting& s : settings) {
+    core::ThresholdMlkpStrategy::Thresholds thresholds;
+    thresholds.cut_margin = s.cut_margin;
+    thresholds.balance_margin = s.balance_margin;
+    core::ThresholdMlkpStrategy strategy(thresholds);
+    core::SimulatorConfig sim_cfg;
+    sim_cfg.k = 4;
+    core::ShardingSimulator sim(history, strategy, sim_cfg);
+    const core::SimulationResult r = sim.run();
+
+    std::vector<double> cuts;
+    std::vector<double> bals;
+    for (const core::WindowSample& w : r.windows) {
+      cuts.push_back(w.dynamic_edge_cut);
+      bals.push_back(w.dynamic_balance);
+    }
+    std::printf("(%4.2f, %4.2f)         %10.4f %10.4f %10llu %9zu\n",
+                s.cut_margin, s.balance_margin,
+                metrics::summarize(cuts).median,
+                metrics::summarize(bals).median,
+                static_cast<unsigned long long>(r.total_moves),
+                r.repartitions.size());
+  }
+
+  std::printf("\nLooser thresholds => fewer repartitions and moves, "
+              "gradually worse cut/balance.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "metrics/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace ethshard::core {
+
+std::vector<ExperimentRun> run_experiment(const workload::History& history,
+                                          const ExperimentConfig& config) {
+  struct Cell {
+    Method method;
+    std::uint32_t k;
+  };
+  std::vector<Cell> cells;
+  for (Method m : config.methods)
+    for (std::uint32_t k : config.shard_counts) cells.push_back({m, k});
+
+  return util::parallel_map(
+      cells,
+      [&](const Cell& cell) {
+        const auto strategy = make_strategy(cell.method, config.seed);
+        SimulatorConfig sim_cfg;
+        sim_cfg.k = cell.k;
+        sim_cfg.load_model = config.load_model;
+        ShardingSimulator sim(history, *strategy, sim_cfg);
+
+        ExperimentRun run;
+        run.method = cell.method;
+        run.k = cell.k;
+        run.result = sim.run();
+
+        std::vector<double> cuts;
+        std::vector<double> balances;
+        for (const WindowSample& w : run.result.windows) {
+          cuts.push_back(w.dynamic_edge_cut);
+          balances.push_back(w.dynamic_balance);
+        }
+        run.dynamic_edge_cut = metrics::summarize(std::move(cuts));
+        run.dynamic_balance = metrics::summarize(std::move(balances));
+        run.normalized_balance_median = metrics::normalized_balance(
+            run.dynamic_balance.median, cell.k);
+        run.throughput = summarize_throughput(run.result);
+        return run;
+      },
+      config.threads);
+}
+
+std::string comparison_table(const std::vector<ExperimentRun>& runs) {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-9s %3s %11s %11s %9s %10s %12s %8s\n", "method", "k",
+                "dynCut(med)", "dynBal(med)", "normBal", "speedup",
+                "moves", "reparts");
+  os << line;
+  for (const ExperimentRun& r : runs) {
+    std::snprintf(line, sizeof(line),
+                  "%-9s %3u %11.4f %11.4f %9.4f %10.3f %12llu %8zu\n",
+                  method_name(r.method).c_str(), r.k,
+                  r.dynamic_edge_cut.median, r.dynamic_balance.median,
+                  r.normalized_balance_median,
+                  r.throughput.mean_speedup,
+                  static_cast<unsigned long long>(r.result.total_moves),
+                  r.result.repartitions.size());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ethshard::core

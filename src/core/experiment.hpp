@@ -1,0 +1,47 @@
+// Experiment grids: run many (method × shard-count) simulations over one
+// history and summarize them comparably — the machinery behind the
+// paper's Figs. 4/5 tables, reusable from benches, tests and the CLI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/strategies.hpp"
+#include "core/throughput.hpp"
+#include "metrics/summary.hpp"
+
+namespace ethshard::core {
+
+struct ExperimentConfig {
+  std::vector<Method> methods{std::begin(kAllMethods),
+                              std::end(kAllMethods)};
+  std::vector<std::uint32_t> shard_counts{2, 4, 8};
+  std::uint64_t seed = 7;
+  LoadModel load_model = LoadModel::kCalls;
+  /// Worker threads for the grid (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// One grid cell: the raw simulation plus ready-to-print summaries.
+struct ExperimentRun {
+  Method method = Method::kHashing;
+  std::uint32_t k = 2;
+  SimulationResult result;
+  metrics::Summary dynamic_edge_cut;
+  metrics::Summary dynamic_balance;
+  /// Fig. 5's normalization of the balance median.
+  double normalized_balance_median = 0;
+  ThroughputSummary throughput;
+};
+
+/// Runs the full grid (methods × shard_counts), in parallel when the
+/// hardware allows. Deterministic for a fixed config.
+std::vector<ExperimentRun> run_experiment(const workload::History& history,
+                                          const ExperimentConfig& config);
+
+/// Fixed-width comparison table (one row per run).
+std::string comparison_table(const std::vector<ExperimentRun>& runs);
+
+}  // namespace ethshard::core

@@ -1,0 +1,44 @@
+#include "core/placement.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace ethshard::core {
+
+partition::ShardId place_min_cut(std::span<const partition::ShardId> peers,
+                                 const std::vector<std::uint64_t>& shard_sizes,
+                                 std::uint32_t k) {
+  ETHSHARD_CHECK(k >= 1);
+  ETHSHARD_CHECK(shard_sizes.size() == k);
+
+  // Count peer links per shard; every peer on another shard would become
+  // a cut edge, so the shard with the most peers minimizes edge-cut.
+  std::vector<std::uint32_t> links(k, 0);
+  std::uint32_t best_links = 0;
+  for (partition::ShardId s : peers) {
+    if (s == partition::kUnassigned) continue;
+    ETHSHARD_CHECK(s < k);
+    best_links = std::max(best_links, ++links[s]);
+  }
+
+  partition::ShardId best = 0;
+  std::uint64_t best_size = ~std::uint64_t{0};
+  for (std::uint32_t s = 0; s < k; ++s) {
+    if (links[s] != best_links) continue;
+    if (shard_sizes[s] < best_size) {  // tie → maximize balance
+      best = s;
+      best_size = shard_sizes[s];
+    }
+  }
+  return best;
+}
+
+partition::ShardId place_by_hash(graph::Vertex v, std::uint32_t k,
+                                 std::uint64_t salt) {
+  ETHSHARD_CHECK(k >= 1);
+  return static_cast<partition::ShardId>(util::mix64(v ^ salt) % k);
+}
+
+}  // namespace ethshard::core

@@ -1,0 +1,24 @@
+// Online placement rules for vertices appearing for the first time.
+#pragma once
+
+#include <span>
+
+#include "core/env.hpp"
+#include "partition/types.hpp"
+
+namespace ethshard::core {
+
+/// The paper's rule for the METIS-family methods (§II-C): "inspecting all
+/// the accounts involved in the transaction and picking the shard that
+/// minimizes edge-cuts; if more than one exists, we maximize the balance."
+/// With no placed peers the least-populated shard is chosen.
+partition::ShardId place_min_cut(std::span<const partition::ShardId> peers,
+                                 const std::vector<std::uint64_t>& shard_sizes,
+                                 std::uint32_t k);
+
+/// Hash placement: shard derived from the vertex id alone (the Hashing
+/// method, and the bootstrap placement for KL).
+partition::ShardId place_by_hash(graph::Vertex v, std::uint32_t k,
+                                 std::uint64_t salt = 0);
+
+}  // namespace ethshard::core

@@ -1,0 +1,334 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "eth/gas.hpp"
+#include "util/check.hpp"
+
+namespace ethshard::core {
+
+// Strategy-facing view backed directly by the simulator's state.
+class ShardingSimulator::Env final : public SimulatorEnv {
+ public:
+  explicit Env(const ShardingSimulator& sim) : sim_(sim) {}
+
+  std::uint32_t k() const override { return sim_.cfg_.k; }
+  util::Timestamp now() const override { return sim_.now_; }
+
+  const partition::Partition& current_partition() const override {
+    return sim_.part_;
+  }
+  const std::vector<std::uint64_t>& shard_vertex_counts() const override {
+    return sim_.shard_counts_;
+  }
+  const std::vector<graph::Weight>& shard_loads() const override {
+    return sim_.shard_loads_;
+  }
+
+  graph::Graph cumulative_graph() const override {
+    return sim_.cumulative_.build_undirected();
+  }
+
+  WindowGraph window_graph() const override {
+    const graph::Graph directed = sim_.window_.build_directed();
+    WindowGraph wg;
+    for (graph::Vertex v = 0; v < directed.num_vertices(); ++v)
+      if (directed.vertex_weight(v) > 0) wg.to_global.push_back(v);
+    wg.undirected =
+        directed.induced_subgraph(wg.to_global).to_undirected();
+    return wg;
+  }
+
+ private:
+  const ShardingSimulator& sim_;
+};
+
+// Applies a strategy's online migrations with full accounting.
+class ShardingSimulator::Sink final : public MigrationSink {
+ public:
+  explicit Sink(ShardingSimulator& sim) : sim_(sim) {}
+
+  void migrate(graph::Vertex v, partition::ShardId s) override {
+    sim_.apply_migration(v, s);
+  }
+
+ private:
+  ShardingSimulator& sim_;
+};
+
+void ShardingSimulator::apply_migration(graph::Vertex v,
+                                        partition::ShardId s) {
+  ETHSHARD_CHECK_MSG(v < part_.size(), "migrate: unknown vertex");
+  ETHSHARD_CHECK_MSG(s < cfg_.k, "migrate: shard out of range");
+  const partition::ShardId from = part_.shard_of(v);
+  ETHSHARD_CHECK_MSG(from != partition::kUnassigned,
+                     "migrate: vertex not placed yet");
+  if (from == s) return;
+
+  part_.assign(v, s);
+  --shard_counts_[from];
+  ++shard_counts_[s];
+  shard_loads_[from] -= activity_[v];
+  shard_loads_[s] += activity_[v];
+  static_cut_dirty_ = true;
+
+  const std::uint64_t state = 1 + activity_[v];
+  ++result_.total_moves;
+  ++result_.online_moves;
+  result_.total_moved_state_units += state;
+  result_.online_moved_state_units += state;
+}
+
+ShardingSimulator::ShardingSimulator(const workload::History& history,
+                                     ShardingStrategy& strategy,
+                                     SimulatorConfig cfg)
+    : history_(history),
+      strategy_(strategy),
+      cfg_(cfg),
+      part_(0, cfg.k),
+      shard_counts_(cfg.k, 0),
+      shard_loads_(cfg.k, 0),
+      window_metrics_(cfg.k) {
+  ETHSHARD_CHECK(cfg_.k >= 1);
+  ETHSHARD_CHECK(cfg_.metric_window > 0);
+}
+
+void ShardingSimulator::ensure_vertex(graph::Vertex v) {
+  while (part_.size() <= v) {
+    part_.append(partition::kUnassigned);
+    activity_.push_back(0);
+  }
+  cumulative_.ensure_vertices(v + 1, /*default_weight=*/1);
+  window_.ensure_vertices(v + 1, /*default_weight=*/0);
+}
+
+void ShardingSimulator::place_vertex(
+    graph::Vertex v, std::span<const partition::ShardId> peers) {
+  Env env(*this);
+  const partition::ShardId s = strategy_.place(v, peers, env);
+  ETHSHARD_CHECK(s < cfg_.k);
+  part_.assign(v, s);
+  ++shard_counts_[s];
+}
+
+void ShardingSimulator::process_transaction(const eth::Transaction& tx) {
+  // Involved accounts, in order of first appearance in the trace.
+  std::vector<graph::Vertex> involved;
+  involved.reserve(2 + tx.calls.size());
+  auto note = [&](graph::Vertex v) {
+    if (std::find(involved.begin(), involved.end(), v) == involved.end())
+      involved.push_back(v);
+  };
+  note(tx.sender);
+  for (const eth::Call& c : tx.calls) {
+    note(c.from);
+    note(c.to);
+  }
+
+  // Place any account appearing for the first time, handing the strategy
+  // the shards of the transaction's already-placed participants (§II-C).
+  for (graph::Vertex v : involved) {
+    ensure_vertex(v);
+    if (part_.shard_of(v) != partition::kUnassigned) continue;
+    std::vector<partition::ShardId> peers;
+    for (graph::Vertex u : involved) {
+      if (u == v) continue;
+      if (u < part_.size() &&
+          part_.shard_of(u) != partition::kUnassigned)
+        peers.push_back(part_.shard_of(u));
+    }
+    place_vertex(v, peers);
+  }
+
+  // Record every call: graphs, window metrics, static counters.
+  for (const eth::Call& c : tx.calls) {
+    const partition::ShardId sf = part_.shard_of(c.from);
+    const partition::ShardId st = part_.shard_of(c.to);
+
+    // Load carried by this call: 1 under the paper's frequency model, or
+    // its gas cost in kilogas under the computation model.
+    graph::Weight load = 1;
+    if (cfg_.load_model == LoadModel::kGas)
+      load = 1 + eth::call_gas(c, /*callee_exists=*/true) / 1000;
+
+    window_metrics_.record_interaction(sf, st, 1);
+    window_metrics_.record_activity(sf, load);
+    if (c.to != c.from) window_metrics_.record_activity(st, load);
+
+    activity_[c.from] += load;
+    shard_loads_[sf] += load;
+    if (c.to != c.from) {
+      activity_[c.to] += load;
+      shard_loads_[st] += load;
+    }
+
+    const bool existed = cumulative_.has_edge(c.from, c.to);
+    cumulative_.add_edge(c.from, c.to, 1);
+    if (!existed && c.from != c.to) {
+      ++distinct_edges_;
+      if (sf != st) ++cut_edges_;
+    }
+
+    window_.add_edge(c.from, c.to, 1);
+    window_.add_vertex_weight(c.from, load);
+    if (c.to != c.from) window_.add_vertex_weight(c.to, load);
+
+    ++executed_total_;
+    if (sf != st) ++executed_cross_;
+  }
+
+  // Give state-movement strategies their per-transaction hook.
+  Env env(*this);
+  Sink sink(*this);
+  strategy_.on_transaction(involved, env, sink);
+}
+
+double ShardingSimulator::current_static_balance() const {
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t c : shard_counts_) {
+    total += c;
+    max = std::max(max, c);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(max) * static_cast<double>(cfg_.k) /
+         static_cast<double>(total);
+}
+
+void ShardingSimulator::recompute_static_cut() {
+  std::uint64_t cut = 0;
+  cumulative_.for_each_edge(
+      [&](graph::Vertex u, graph::Vertex v, graph::Weight) {
+        if (u == v) return;
+        if (part_.shard_of(u) != part_.shard_of(v)) ++cut;
+      });
+  cut_edges_ = cut;
+}
+
+void ShardingSimulator::flush_window(util::Timestamp window_end) {
+  if (static_cut_dirty_) {
+    recompute_static_cut();
+    static_cut_dirty_ = false;
+  }
+  WindowSample sample;
+  sample.window_start = window_start_;
+  sample.window_end = window_end;
+  sample.dynamic_edge_cut = window_metrics_.dynamic_edge_cut();
+  sample.dynamic_balance = window_metrics_.dynamic_balance();
+  sample.static_edge_cut =
+      distinct_edges_ == 0 ? 0.0
+                           : static_cast<double>(cut_edges_) /
+                                 static_cast<double>(distinct_edges_);
+  sample.static_balance = current_static_balance();
+  sample.interactions = window_metrics_.total_interactions();
+
+  const bool record =
+      !cfg_.skip_empty_windows || !window_metrics_.empty();
+  if (record) result_.windows.push_back(sample);
+
+  WindowSnapshot snapshot;
+  snapshot.window_start = window_start_;
+  snapshot.window_end = window_end;
+  snapshot.dynamic_edge_cut = sample.dynamic_edge_cut;
+  snapshot.dynamic_balance = sample.dynamic_balance;
+  snapshot.interactions = sample.interactions;
+  snapshot.since_last_repartition = window_end - last_repartition_;
+
+  window_metrics_.reset();
+  window_start_ = window_end;
+
+  maybe_repartition(snapshot);
+}
+
+void ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
+  Env env(*this);
+  if (!strategy_.should_repartition(snapshot, env)) return;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  partition::Partition next = strategy_.compute_partition(env);
+  const double compute_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  ETHSHARD_CHECK_MSG(next.size() == part_.size(),
+                     "strategy returned wrong-sized partition");
+  ETHSHARD_CHECK(next.k() == cfg_.k);
+
+  if (cfg_.align_repartition_labels)
+    partition::align_partition_labels(part_, &next);
+
+  std::uint64_t moves = 0;
+  std::uint64_t moved_state = 0;
+  for (graph::Vertex v = 0; v < part_.size(); ++v) {
+    const partition::ShardId a = part_.shard_of(v);
+    const partition::ShardId b = next.shard_of(v);
+    if (a == partition::kUnassigned || b == partition::kUnassigned ||
+        a == b)
+      continue;
+    ++moves;
+    moved_state += 1 + activity_[v];
+  }
+  part_ = std::move(next);
+
+  // Rebuild all assignment-dependent bookkeeping.
+  std::fill(shard_counts_.begin(), shard_counts_.end(), 0);
+  std::fill(shard_loads_.begin(), shard_loads_.end(), 0);
+  for (graph::Vertex v = 0; v < part_.size(); ++v) {
+    const partition::ShardId s = part_.shard_of(v);
+    if (s == partition::kUnassigned) continue;
+    ++shard_counts_[s];
+    shard_loads_[s] += activity_[v];
+  }
+  recompute_static_cut();
+
+  // A fresh activity window begins at every repartition (§II-C R-METIS:
+  // the reduced graph "starts at the last (re)partitioning").
+  window_.clear();
+  window_.ensure_vertices(part_.size(), 0);
+
+  last_repartition_ = snapshot.window_end;
+  result_.repartitions.push_back(RepartitionEvent{
+      snapshot.window_end, moves, moved_state, compute_ms});
+  result_.total_moves += moves;
+  result_.total_moved_state_units += moved_state;
+}
+
+SimulationResult ShardingSimulator::run() {
+  ETHSHARD_CHECK_MSG(!ran_, "simulator is single-use");
+  ran_ = true;
+
+  result_.strategy_name = strategy_.name();
+  result_.k = cfg_.k;
+
+  const auto& blocks = history_.chain.blocks();
+  if (blocks.empty()) return std::move(result_);
+
+  window_start_ = blocks.front().timestamp;
+  last_repartition_ = window_start_;
+
+  for (const eth::Block& block : blocks) {
+    now_ = block.timestamp;
+    while (now_ >= window_start_ + cfg_.metric_window)
+      flush_window(window_start_ + cfg_.metric_window);
+    for (const eth::Transaction& tx : block.transactions)
+      process_transaction(tx);
+  }
+  flush_window(window_start_ + cfg_.metric_window);  // final partial window
+
+  result_.vertices = part_.size();
+  result_.distinct_edges = distinct_edges_;
+  result_.interactions = executed_total_;
+  result_.final_static_edge_cut =
+      distinct_edges_ == 0 ? 0.0
+                           : static_cast<double>(cut_edges_) /
+                                 static_cast<double>(distinct_edges_);
+  result_.final_static_balance = current_static_balance();
+  result_.executed_cross_shard_fraction =
+      executed_total_ == 0 ? 0.0
+                           : static_cast<double>(executed_cross_) /
+                                 static_cast<double>(executed_total_);
+  return std::move(result_);
+}
+
+}  // namespace ethshard::core

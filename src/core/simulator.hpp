@@ -1,0 +1,158 @@
+// The sharding what-if simulator — the paper's experiment engine.
+//
+// Replays a blockchain history call by call against a sharding strategy,
+// maintaining: the growing assignment of accounts to shards (with the
+// paper's online placement of newly appearing accounts), the cumulative
+// and since-last-repartition interaction graphs, per-4-hour-window dynamic
+// metrics, incrementally tracked static metrics, and the moves incurred by
+// every repartition. This is what produces the data behind Figs. 3–5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "graph/builder.hpp"
+#include "metrics/metrics.hpp"
+#include "partition/types.hpp"
+#include "workload/generator.hpp"
+
+namespace ethshard::core {
+
+/// What one unit of shard load means (§IV lists computation, storage and
+/// bandwidth as the resources a sharding scheme must balance).
+enum class LoadModel {
+  kCalls,  ///< every call weighs 1 (the paper's frequency weighting)
+  kGas,    ///< calls weigh their gas cost in kilogas (computation load)
+};
+
+struct SimulatorConfig {
+  std::uint32_t k = 2;
+  /// Metric sampling window (paper: four hours).
+  util::Timestamp metric_window = util::kMetricWindow;
+  /// Unit of the dynamic-balance load (kCalls reproduces the paper).
+  LoadModel load_model = LoadModel::kCalls;
+  /// Suppress empty windows (periods with no traffic produce no sample,
+  /// mirroring the paper's data points).
+  bool skip_empty_windows = true;
+  /// Rename each newly computed partition's shard labels to maximize
+  /// overlap with the previous assignment before counting moves, so a
+  /// from-scratch partitioner is not charged for pure label permutations
+  /// (its structural reshuffling — the paper's METIS pitfall — still
+  /// counts in full).
+  bool align_repartition_labels = true;
+};
+
+/// One metric sample (a data point in Fig. 3).
+struct WindowSample {
+  util::Timestamp window_start = 0;
+  util::Timestamp window_end = 0;
+  /// Weighted cross-shard fraction of the window's interactions.
+  double dynamic_edge_cut = 0;
+  /// Eq. 2 over the window's per-shard activity.
+  double dynamic_balance = 1;
+  /// Eq. 1 over the cumulative graph's distinct edges, current assignment.
+  double static_edge_cut = 0;
+  /// Eq. 2 over vertex counts, current assignment.
+  double static_balance = 1;
+  /// Interactions (calls) observed in the window.
+  std::uint64_t interactions = 0;
+};
+
+/// One repartitioning of the system (a dashed vertical line in Fig. 3b).
+struct RepartitionEvent {
+  util::Timestamp time = 0;
+  /// Vertices whose shard changed — the paper's "moves" metric.
+  std::uint64_t moves = 0;
+  /// State dragged along with those vertices, in state units (1 per
+  /// vertex + its accumulated activity as a storage-size proxy). §III:
+  /// "If the vertex is a contract, that would result in moving the entire
+  /// contract storage to another shard."
+  std::uint64_t moved_state_units = 0;
+  /// Wall-clock cost of computing the new partition, in milliseconds —
+  /// the practical price of "just rerun METIS" that full-graph methods
+  /// pay as the chain grows.
+  double compute_ms = 0;
+};
+
+struct SimulationResult {
+  std::string strategy_name;
+  std::uint32_t k = 0;
+  std::vector<WindowSample> windows;
+  std::vector<RepartitionEvent> repartitions;
+  /// Vertices moved by repartitionings plus online migrations.
+  std::uint64_t total_moves = 0;
+  std::uint64_t total_moved_state_units = 0;
+  /// The online-migration share of the totals (state-movement strategies;
+  /// zero for the paper's five methods).
+  std::uint64_t online_moves = 0;
+  std::uint64_t online_moved_state_units = 0;
+
+  // Final-state aggregates.
+  std::uint64_t vertices = 0;
+  std::uint64_t distinct_edges = 0;
+  std::uint64_t interactions = 0;
+  double final_static_edge_cut = 0;
+  double final_static_balance = 1;
+  /// Cross-shard fraction of ALL executed interactions, measured at
+  /// execution time (the history-wide dynamic edge-cut).
+  double executed_cross_shard_fraction = 0;
+};
+
+class ShardingSimulator {
+ public:
+  /// `history` and `strategy` must outlive the simulator.
+  ShardingSimulator(const workload::History& history,
+                    ShardingStrategy& strategy, SimulatorConfig cfg);
+
+  /// Replays the whole history. Call once.
+  SimulationResult run();
+
+ private:
+  class Env;
+  class Sink;
+
+  void process_transaction(const eth::Transaction& tx);
+  void apply_migration(graph::Vertex v, partition::ShardId s);
+  void ensure_vertex(graph::Vertex v);
+  void place_vertex(graph::Vertex v,
+                    std::span<const partition::ShardId> peers);
+  void flush_window(util::Timestamp window_end);
+  void maybe_repartition(const WindowSnapshot& snapshot);
+  void recompute_static_cut();
+  double current_static_balance() const;
+
+  const workload::History& history_;
+  ShardingStrategy& strategy_;
+  SimulatorConfig cfg_;
+
+  partition::Partition part_;
+  graph::GraphBuilder cumulative_;  // unit vertex weights
+  graph::GraphBuilder window_;      // window-activity vertex weights
+  std::vector<graph::Weight> activity_;  // cumulative per-vertex activity
+
+  std::vector<std::uint64_t> shard_counts_;
+  std::vector<graph::Weight> shard_loads_;
+
+  // Incremental static-cut bookkeeping over distinct non-loop edges.
+  // Online migrations invalidate the incremental count; it is recomputed
+  // lazily at the next window flush.
+  std::uint64_t distinct_edges_ = 0;
+  std::uint64_t cut_edges_ = 0;
+  bool static_cut_dirty_ = false;
+
+  // History-wide executed interaction accounting.
+  std::uint64_t executed_total_ = 0;
+  std::uint64_t executed_cross_ = 0;
+
+  metrics::WindowAccumulator window_metrics_;
+  util::Timestamp now_ = 0;
+  util::Timestamp window_start_ = 0;
+  util::Timestamp last_repartition_ = 0;
+
+  SimulationResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace ethshard::core

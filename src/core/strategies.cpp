@@ -1,0 +1,269 @@
+#include "core/strategies.hpp"
+
+#include <algorithm>
+
+#include "core/placement.hpp"
+#include "util/check.hpp"
+
+namespace ethshard::core {
+
+namespace {
+
+/// Copies the shards of the window's active vertices out of the global
+/// partition into a local one over the window graph's vertex ids.
+partition::Partition local_partition(const WindowGraph& wg,
+                                     const partition::Partition& global) {
+  partition::Partition local(wg.to_global.size(), global.k());
+  for (graph::Vertex lv = 0; lv < wg.to_global.size(); ++lv)
+    local.assign(lv, global.shard_of(wg.to_global[lv]));
+  return local;
+}
+
+/// Writes a local (window) assignment back over a copy of the global one.
+partition::Partition merge_local(const WindowGraph& wg,
+                                 const partition::Partition& local,
+                                 const partition::Partition& global) {
+  partition::Partition merged = global;
+  for (graph::Vertex lv = 0; lv < wg.to_global.size(); ++lv)
+    merged.assign(wg.to_global[lv], local.shard_of(lv));
+  return merged;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Hashing
+
+partition::ShardId HashStrategy::place(graph::Vertex v,
+                                       std::span<const partition::ShardId>,
+                                       const SimulatorEnv& env) {
+  return place_by_hash(v, env.k(), salt_);
+}
+
+partition::Partition HashStrategy::compute_partition(
+    const SimulatorEnv& env) {
+  // Never called (should_repartition is constant false), but well-defined:
+  // hashing's assignment is a pure function of the ids.
+  partition::Partition p(env.current_partition().size(), env.k());
+  for (graph::Vertex v = 0; v < p.size(); ++v)
+    p.assign(v, place_by_hash(v, env.k(), salt_));
+  return p;
+}
+
+// --------------------------------------------------------------------- KL
+
+partition::ShardId KlStrategy::place(graph::Vertex v,
+                                     std::span<const partition::ShardId>,
+                                     const SimulatorEnv& env) {
+  // The paper bootstraps KL from a hashed state; new arrivals follow the
+  // same rule and later migrate via label propagation.
+  return place_by_hash(v, env.k(), salt_);
+}
+
+bool KlStrategy::should_repartition(const WindowSnapshot& snapshot,
+                                    const SimulatorEnv&) {
+  return snapshot.since_last_repartition >= period_;
+}
+
+partition::Partition KlStrategy::compute_partition(const SimulatorEnv& env) {
+  const WindowGraph wg = env.window_graph();
+  if (wg.to_global.empty()) return env.current_partition();
+
+  partition::Partition local = local_partition(wg, env.current_partition());
+  partition::BlpConfig cfg = blp_;
+  cfg.seed = blp_.seed + (++invocation_);
+  partition::BalancedLabelPropagation blp(cfg);
+  blp.refine(wg.undirected, local);
+  return merge_local(wg, local, env.current_partition());
+}
+
+// ------------------------------------------------------------------ METIS
+
+partition::ShardId FullGraphMlkpStrategy::place(
+    graph::Vertex, std::span<const partition::ShardId> peers,
+    const SimulatorEnv& env) {
+  return place_min_cut(peers, env.shard_vertex_counts(), env.k());
+}
+
+bool FullGraphMlkpStrategy::should_repartition(const WindowSnapshot& snapshot,
+                                               const SimulatorEnv&) {
+  return snapshot.since_last_repartition >= period_;
+}
+
+partition::Partition FullGraphMlkpStrategy::compute_partition(
+    const SimulatorEnv& env) {
+  const graph::Graph g = env.cumulative_graph();
+  if (g.num_vertices() == 0) return env.current_partition();
+  partition::MlkpConfig cfg = mlkp_;
+  cfg.seed = mlkp_.seed + (++invocation_);
+  partition::MlkpPartitioner mlkp(cfg);
+  return mlkp.partition(g, env.k());
+}
+
+// ---------------------------------------------------------------- R-METIS
+
+partition::ShardId WindowMlkpStrategy::place(
+    graph::Vertex, std::span<const partition::ShardId> peers,
+    const SimulatorEnv& env) {
+  return place_min_cut(peers, env.shard_vertex_counts(), env.k());
+}
+
+bool WindowMlkpStrategy::should_repartition(const WindowSnapshot& snapshot,
+                                            const SimulatorEnv&) {
+  return snapshot.since_last_repartition >= period_;
+}
+
+partition::Partition WindowMlkpStrategy::compute_partition(
+    const SimulatorEnv& env) {
+  const WindowGraph wg = env.window_graph();
+  if (wg.to_global.empty()) return env.current_partition();
+  partition::MlkpConfig cfg = mlkp_;
+  cfg.seed = mlkp_.seed + (++invocation_);
+  partition::MlkpPartitioner mlkp(cfg);
+  const partition::Partition local = mlkp.partition(wg.undirected, env.k());
+  return merge_local(wg, local, env.current_partition());
+}
+
+// --------------------------------------------------------------- TR-METIS
+
+partition::ShardId ThresholdMlkpStrategy::place(
+    graph::Vertex, std::span<const partition::ShardId> peers,
+    const SimulatorEnv& env) {
+  return place_min_cut(peers, env.shard_vertex_counts(), env.k());
+}
+
+bool ThresholdMlkpStrategy::should_repartition(const WindowSnapshot& snapshot,
+                                               const SimulatorEnv&) {
+  if (snapshot.interactions < thresholds_.min_interactions) return false;
+
+  // The first busy window after a repartition defines what "good"
+  // currently looks like; degradation is measured against it.
+  if (!have_baseline_) {
+    baseline_cut_ = snapshot.dynamic_edge_cut;
+    baseline_balance_ = snapshot.dynamic_balance;
+    ewma_cut_ = baseline_cut_;
+    ewma_balance_ = baseline_balance_;
+    violations_ = 0;
+    have_baseline_ = true;
+    return false;
+  }
+
+  const double a = thresholds_.ewma_alpha;
+  ewma_cut_ = (1 - a) * ewma_cut_ + a * snapshot.dynamic_edge_cut;
+  ewma_balance_ = (1 - a) * ewma_balance_ + a * snapshot.dynamic_balance;
+
+  const double cut_trigger =
+      std::max(thresholds_.cut_floor, baseline_cut_ + thresholds_.cut_margin);
+  const double balance_trigger =
+      std::max(thresholds_.balance_floor,
+               baseline_balance_ + thresholds_.balance_margin);
+  if (ewma_cut_ > cut_trigger || ewma_balance_ > balance_trigger)
+    ++violations_;
+  else
+    violations_ = 0;
+
+  if (snapshot.since_last_repartition < thresholds_.min_gap) return false;
+  return violations_ >= thresholds_.violations_required;
+}
+
+partition::Partition ThresholdMlkpStrategy::compute_partition(
+    const SimulatorEnv& env) {
+  have_baseline_ = false;  // re-baseline after this repartition
+  const WindowGraph wg = env.window_graph();
+  if (wg.to_global.empty()) return env.current_partition();
+  partition::MlkpConfig cfg = mlkp_;
+  cfg.seed = mlkp_.seed + (++invocation_);
+  partition::MlkpPartitioner mlkp(cfg);
+  const partition::Partition local = mlkp.partition(wg.undirected, env.k());
+  return merge_local(wg, local, env.current_partition());
+}
+
+// -------------------------------------------------------------------- DSM
+
+partition::ShardId DsmStrategy::place(
+    graph::Vertex, std::span<const partition::ShardId> peers,
+    const SimulatorEnv& env) {
+  return place_min_cut(peers, env.shard_vertex_counts(), env.k());
+}
+
+void DsmStrategy::on_transaction(std::span<const graph::Vertex> involved,
+                                 const SimulatorEnv& env,
+                                 MigrationSink& sink) {
+  if (involved.size() < 2) return;
+  const partition::Partition& part = env.current_partition();
+
+  // Majority shard among the participants; ties break toward the shard
+  // with the smaller current population (balance pressure).
+  std::vector<std::uint32_t> count(env.k(), 0);
+  bool multi = false;
+  const partition::ShardId first = part.shard_of(involved.front());
+  for (graph::Vertex v : involved) {
+    const partition::ShardId s = part.shard_of(v);
+    ++count[s];
+    if (s != first) multi = true;
+  }
+  if (!multi) return;  // already single-shard
+
+  partition::ShardId target = 0;
+  for (std::uint32_t s = 1; s < env.k(); ++s) {
+    if (count[s] > count[target] ||
+        (count[s] == count[target] &&
+         env.shard_vertex_counts()[s] < env.shard_vertex_counts()[target]))
+      target = s;
+  }
+  for (graph::Vertex v : involved)
+    if (part.shard_of(v) != target) sink.migrate(v, target);
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<ShardingStrategy> make_strategy(Method method,
+                                                std::uint64_t seed) {
+  switch (method) {
+    case Method::kHashing:
+      return std::make_unique<HashStrategy>(seed);
+    case Method::kKl: {
+      partition::BlpConfig blp;
+      blp.seed = seed;
+      return std::make_unique<KlStrategy>(util::kRepartitionPeriod, blp,
+                                          seed);
+    }
+    case Method::kMetis: {
+      partition::MlkpConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<FullGraphMlkpStrategy>(
+          util::kRepartitionPeriod, cfg);
+    }
+    case Method::kRMetis: {
+      partition::MlkpConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<WindowMlkpStrategy>(util::kRepartitionPeriod,
+                                                  cfg);
+    }
+    case Method::kTrMetis: {
+      partition::MlkpConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<ThresholdMlkpStrategy>(
+          ThresholdMlkpStrategy::Thresholds{}, cfg);
+    }
+  }
+  ETHSHARD_CHECK_MSG(false, "unknown method");
+  return nullptr;
+}
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kHashing:
+      return "Hashing";
+    case Method::kKl:
+      return "KL";
+    case Method::kMetis:
+      return "METIS";
+    case Method::kRMetis:
+      return "R-METIS";
+    case Method::kTrMetis:
+      return "TR-METIS";
+  }
+  return "?";
+}
+
+}  // namespace ethshard::core

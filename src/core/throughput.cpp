@@ -1,0 +1,55 @@
+#include "core/throughput.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ethshard::core {
+
+double window_speedup(double dynamic_edge_cut, double dynamic_balance,
+                      std::uint32_t k, const ThroughputModel& model) {
+  ETHSHARD_CHECK(k >= 1);
+  ETHSHARD_CHECK(model.cross_cost >= 1.0);
+  ETHSHARD_CHECK(dynamic_edge_cut >= 0.0 && dynamic_edge_cut <= 1.0);
+  const double balance = std::max(1.0, dynamic_balance);
+  const double work_per_interaction =
+      1.0 + (model.cross_cost - 1.0) * dynamic_edge_cut;
+  return static_cast<double>(k) / (balance * work_per_interaction);
+}
+
+ThroughputSummary summarize_throughput(const SimulationResult& result,
+                                       const ThroughputModel& model) {
+  ThroughputSummary s;
+  double weighted_sum = 0;
+  double weight_total = 0;
+  bool first = true;
+  std::size_t losses = 0;
+
+  for (const WindowSample& w : result.windows) {
+    if (w.interactions == 0) continue;
+    const double speedup = window_speedup(w.dynamic_edge_cut,
+                                          w.dynamic_balance, result.k,
+                                          model);
+    const double weight = static_cast<double>(w.interactions);
+    weighted_sum += speedup * weight;
+    weight_total += weight;
+    if (first) {
+      s.worst_speedup = speedup;
+      s.best_speedup = speedup;
+      first = false;
+    } else {
+      s.worst_speedup = std::min(s.worst_speedup, speedup);
+      s.best_speedup = std::max(s.best_speedup, speedup);
+    }
+    if (speedup < 1.0) ++losses;
+    ++s.windows;
+  }
+  if (s.windows > 0) {
+    s.mean_speedup = weighted_sum / weight_total;
+    s.loss_fraction =
+        static_cast<double>(losses) / static_cast<double>(s.windows);
+  }
+  return s;
+}
+
+}  // namespace ethshard::core

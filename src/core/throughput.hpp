@@ -1,0 +1,57 @@
+// Throughput model: what the paper's metrics imply for performance.
+//
+// §I: "If the partitioning is such that most application requests can be
+// executed within a single shard and the load among shards is balanced,
+// then performance scales with the number of shards. … if the
+// application state is poorly partitioned, overall system performance
+// will most likely decrease, instead of increase, due to the overhead of
+// multi-shard requests."
+//
+// This module turns a simulation's per-window dynamic edge-cut and
+// dynamic balance into that statement's arithmetic. Model: every shard
+// processes `capacity` work units per window; an intra-shard interaction
+// costs 1 unit, a cross-shard one costs `cross_cost` units (coordination,
+// e.g. two-phase commit legs). The system drains a window's workload at
+// the pace of its most loaded shard, so with load share balance/k on the
+// hottest shard:
+//
+//   speedup(k) = k / (balance · (1 + (cross_cost − 1) · cross_fraction))
+//
+// normalized so a single unsharded node has speedup 1. speedup < 1 is the
+// paper's pitfall: sharding made things worse.
+#pragma once
+
+#include <cstdint>
+
+#include "core/simulator.hpp"
+
+namespace ethshard::core {
+
+struct ThroughputModel {
+  /// Work units a cross-shard interaction costs (>= 1); an intra-shard
+  /// one costs exactly 1. Two-phase coordination typically lands around
+  /// 3 (prepare + commit on two shards vs one local execution).
+  double cross_cost = 3.0;
+};
+
+/// Speedup over an unsharded node for one window's observed metrics.
+/// Preconditions: k >= 1, dynamic_balance >= 1, cross fraction in [0,1].
+double window_speedup(double dynamic_edge_cut, double dynamic_balance,
+                      std::uint32_t k, const ThroughputModel& model = {});
+
+/// Aggregate over a simulation: interaction-weighted mean speedup plus
+/// the share of windows where sharding was a net loss (speedup < 1).
+struct ThroughputSummary {
+  double mean_speedup = 1;
+  double worst_speedup = 1;
+  double best_speedup = 1;
+  /// Fraction of (non-empty) windows with speedup < 1 — how often the
+  /// paper's pitfall bites.
+  double loss_fraction = 0;
+  std::size_t windows = 0;
+};
+
+ThroughputSummary summarize_throughput(const SimulationResult& result,
+                                       const ThroughputModel& model = {});
+
+}  // namespace ethshard::core

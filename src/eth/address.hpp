@@ -1,0 +1,103 @@
+// Ethereum-style 20-byte account addresses and the account registry.
+//
+// Vertices in the blockchain graph are accounts (externally owned) and
+// smart contracts (§II-B). Internally the library works with dense
+// uint64 vertex ids; Address provides the realistic on-chain identity and
+// is derived deterministically from the id via Keccak-256, mirroring how
+// Ethereum derives contract addresses from (sender, nonce).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eth/keccak.hpp"
+#include "util/sim_time.hpp"
+
+namespace ethshard::eth {
+
+/// Dense vertex/account identifier used throughout the library.
+using AccountId = std::uint64_t;
+
+/// A 20-byte Ethereum address.
+class Address {
+ public:
+  Address() = default;
+
+  /// Derives the address for an account id: the low 20 bytes of
+  /// keccak256(le64(id)), as Ethereum takes the low 20 bytes of
+  /// keccak256(rlp(sender, nonce)).
+  static Address from_id(AccountId id);
+
+  /// Parses "0x"-prefixed or bare 40-hex-char form.
+  static Address from_hex(std::string_view hex);
+
+  const std::array<std::uint8_t, 20>& bytes() const { return bytes_; }
+
+  /// Lower-case "0x"-prefixed hex form.
+  std::string to_hex() const;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+ private:
+  std::array<std::uint8_t, 20> bytes_{};
+};
+
+/// Whether the account is a user key pair or deployed code.
+enum class AccountKind : std::uint8_t {
+  kExternallyOwned,  ///< full-line node in the paper's Fig. 2
+  kContract,         ///< dashed-line node in the paper's Fig. 2
+};
+
+/// Behavioural archetype of a contract (how the workload generator drives
+/// it); kGeneric for externally owned accounts and unclassified contracts.
+enum class ContractArchetype : std::uint8_t {
+  kGeneric,   ///< default call-cascade behaviour
+  kToken,     ///< ERC-20-style: activations emit 1-2 transfers
+  kExchange,  ///< long-lived hub touching many distinct accounts
+  kIco,       ///< crowdsale: extremely hot for a few weeks, then dead
+};
+
+/// Metadata for one account or contract.
+struct AccountInfo {
+  AccountId id = 0;
+  AccountKind kind = AccountKind::kExternallyOwned;
+  util::Timestamp created_at = 0;
+  /// Storage footprint proxy (32-byte slots); relevant to the paper's
+  /// observation that moving a contract means moving its whole storage.
+  std::uint64_t storage_slots = 0;
+  ContractArchetype archetype = ContractArchetype::kGeneric;
+};
+
+/// Append-only directory of every account/contract ever seen. Ids are
+/// dense: the i-th created account has id i, so the registry doubles as
+/// the graph's vertex universe.
+class AccountRegistry {
+ public:
+  /// Registers a new account and returns its id.
+  AccountId create(AccountKind kind, util::Timestamp created_at,
+                   std::uint64_t storage_slots = 0,
+                   ContractArchetype archetype = ContractArchetype::kGeneric);
+
+  std::size_t size() const { return accounts_.size(); }
+  bool contains(AccountId id) const { return id < accounts_.size(); }
+
+  /// Precondition: contains(id).
+  const AccountInfo& info(AccountId id) const;
+
+  /// Precondition: contains(id). Grows a contract's storage footprint.
+  void add_storage(AccountId id, std::uint64_t slots);
+
+  /// Number of registered contracts (the rest are externally owned).
+  std::size_t contract_count() const { return contract_count_; }
+
+  const std::vector<AccountInfo>& all() const { return accounts_; }
+
+ private:
+  std::vector<AccountInfo> accounts_;
+  std::size_t contract_count_ = 0;
+};
+
+}  // namespace ethshard::eth

@@ -1,0 +1,25 @@
+#include "eth/block.hpp"
+
+namespace ethshard::eth {
+
+Hash256 Block::transactions_root() const {
+  Keccak256 h;
+  h.update_u64(transactions.size());
+  for (const Transaction& tx : transactions) {
+    const Hash256 th = tx.hash();
+    h.update(th.data(), th.size());
+  }
+  return h.finalize();
+}
+
+Hash256 Block::hash() const {
+  Keccak256 h;
+  h.update_u64(number);
+  h.update_u64(static_cast<std::uint64_t>(timestamp));
+  h.update(parent_hash.data(), parent_hash.size());
+  const Hash256 root = transactions_root();
+  h.update(root.data(), root.size());
+  return h.finalize();
+}
+
+}  // namespace ethshard::eth

@@ -1,0 +1,28 @@
+// Blocks: batches of transactions cryptographically linked into a chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eth/keccak.hpp"
+#include "eth/transaction.hpp"
+#include "util/sim_time.hpp"
+
+namespace ethshard::eth {
+
+/// One block. Blocks are immutable once sealed (hash computed).
+struct Block {
+  std::uint64_t number = 0;
+  util::Timestamp timestamp = 0;
+  Hash256 parent_hash{};
+  std::vector<Transaction> transactions;
+
+  /// Keccak-256 commitment over the transaction list (a flat analogue of
+  /// Ethereum's transactions-trie root).
+  Hash256 transactions_root() const;
+
+  /// Header hash: keccak(number, timestamp, parent_hash, transactions_root).
+  Hash256 hash() const;
+};
+
+}  // namespace ethshard::eth

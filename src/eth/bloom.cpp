@@ -1,0 +1,63 @@
+#include "eth/bloom.hpp"
+
+#include <bit>
+
+namespace ethshard::eth {
+
+std::array<std::uint16_t, 3> Bloom2048::bit_indexes(std::string_view item) {
+  const Hash256 h = keccak256(item);
+  std::array<std::uint16_t, 3> idx{};
+  for (int i = 0; i < 3; ++i) {
+    const std::uint16_t pair = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(h[2 * i]) << 8) | h[2 * i + 1]);
+    idx[static_cast<std::size_t>(i)] = pair % 2048;
+  }
+  return idx;
+}
+
+void Bloom2048::add(std::string_view item) {
+  for (std::uint16_t bit : bit_indexes(item))
+    bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void Bloom2048::add(const Address& address) {
+  add(std::string_view(
+      reinterpret_cast<const char*>(address.bytes().data()),
+      address.bytes().size()));
+}
+
+bool Bloom2048::might_contain(std::string_view item) const {
+  for (std::uint16_t bit : bit_indexes(item))
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  return true;
+}
+
+bool Bloom2048::might_contain(const Address& address) const {
+  return might_contain(std::string_view(
+      reinterpret_cast<const char*>(address.bytes().data()),
+      address.bytes().size()));
+}
+
+void Bloom2048::merge(const Bloom2048& other) {
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+std::size_t Bloom2048::popcount() const {
+  std::size_t n = 0;
+  for (std::uint8_t b : bits_) n += static_cast<std::size_t>(std::popcount(b));
+  return n;
+}
+
+Bloom2048 block_address_bloom(const Block& block) {
+  Bloom2048 bloom;
+  for (const Transaction& tx : block.transactions) {
+    bloom.add(Address::from_id(tx.sender));
+    for (const Call& c : tx.calls) {
+      bloom.add(Address::from_id(c.from));
+      bloom.add(Address::from_id(c.to));
+    }
+  }
+  return bloom;
+}
+
+}  // namespace ethshard::eth

@@ -1,0 +1,53 @@
+// 2048-bit bloom filters, Ethereum-style.
+//
+// Every Ethereum block header carries a 2048-bit logs bloom so light
+// clients can skip blocks that cannot contain an address they care
+// about. This is that structure: each item sets 3 bits derived from its
+// Keccak-256 hash (bytes (0,1), (2,3), (4,5), each mod 2048 — the Yellow
+// Paper's M3:2048 function). Used here to index the accounts a block
+// touches, e.g. for shard-local filtering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "eth/address.hpp"
+#include "eth/block.hpp"
+#include "eth/keccak.hpp"
+
+namespace ethshard::eth {
+
+class Bloom2048 {
+ public:
+  /// Sets the 3 bits for a byte string.
+  void add(std::string_view item);
+  /// Convenience: adds an address (its 20 raw bytes).
+  void add(const Address& address);
+
+  /// False ⇒ definitely absent; true ⇒ possibly present.
+  bool might_contain(std::string_view item) const;
+  bool might_contain(const Address& address) const;
+
+  /// Union with another filter (a block bloom is the union of its
+  /// transactions' blooms).
+  void merge(const Bloom2048& other);
+
+  /// Number of set bits (load factor diagnostics).
+  std::size_t popcount() const;
+  bool empty() const { return popcount() == 0; }
+
+  const std::array<std::uint8_t, 256>& bytes() const { return bits_; }
+
+  friend bool operator==(const Bloom2048&, const Bloom2048&) = default;
+
+ private:
+  static std::array<std::uint16_t, 3> bit_indexes(std::string_view item);
+  std::array<std::uint8_t, 256> bits_{};
+};
+
+/// Bloom over every account id a block's calls touch (ids are mapped to
+/// their derived Addresses, matching what a real header would index).
+Bloom2048 block_address_bloom(const Block& block);
+
+}  // namespace ethshard::eth

@@ -1,0 +1,35 @@
+#include "eth/difficulty.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ethshard::eth {
+
+std::uint64_t next_difficulty(std::uint64_t parent_difficulty,
+                              std::uint64_t timestamp_delta,
+                              std::uint64_t number,
+                              const DifficultyParams& params) {
+  ETHSHARD_CHECK(parent_difficulty >= params.minimum_difficulty);
+
+  // Homestead: sigma = max(1 - delta/target, -99).
+  const std::int64_t sigma = std::max<std::int64_t>(
+      1 - static_cast<std::int64_t>(timestamp_delta /
+                                    params.target_spacing),
+      -99);
+  const std::uint64_t step = parent_difficulty / params.bound_divisor;
+
+  std::int64_t d = static_cast<std::int64_t>(parent_difficulty) +
+                   sigma * static_cast<std::int64_t>(step);
+
+  if (params.ice_age) {
+    const std::uint64_t period = number / 100000;
+    if (period >= 2 && period - 2 < 63)
+      d += static_cast<std::int64_t>(std::uint64_t{1} << (period - 2));
+  }
+
+  return std::max<std::int64_t>(
+             d, static_cast<std::int64_t>(params.minimum_difficulty));
+}
+
+}  // namespace ethshard::eth

@@ -1,0 +1,33 @@
+// Difficulty adjustment — the feedback loop that keeps block times near
+// the target as hash power fluctuates (Homestead rule, EIP-2), plus the
+// exponential "ice age" term that forced the fork cadence visible in the
+// paper's Fig. 1 timeline.
+//
+//   d(n) = parent_d + parent_d/2048 · max(1 − (t − t_parent)/10, −99)
+//          + 2^(⌊n/100000⌋ − 2)
+//
+// clamped below at `minimum_difficulty`.
+#pragma once
+
+#include <cstdint>
+
+namespace ethshard::eth {
+
+struct DifficultyParams {
+  std::uint64_t minimum_difficulty = 131072;  // Ethereum's floor (2^17)
+  std::uint64_t target_spacing = 10;          // seconds per adjustment step
+  std::uint64_t bound_divisor = 2048;
+  /// Disable with 0 (the ice-age term dominates everything past block
+  /// ~4M, so analyses often turn it off).
+  bool ice_age = true;
+};
+
+/// Difficulty of the block at height `number` given its parent's
+/// difficulty and the timestamp delta (seconds). Preconditions:
+/// parent_difficulty >= params.minimum_difficulty.
+std::uint64_t next_difficulty(std::uint64_t parent_difficulty,
+                              std::uint64_t timestamp_delta,
+                              std::uint64_t number,
+                              const DifficultyParams& params = {});
+
+}  // namespace ethshard::eth

@@ -1,0 +1,109 @@
+#include "eth/fork_choice.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ethshard::eth {
+
+BlockTree::BlockTree(Block genesis) {
+  ETHSHARD_CHECK_MSG(genesis.number == 0, "genesis must have number 0");
+  const Hash256 hash = genesis.hash();
+  Node node;
+  node.block = std::move(genesis);
+  node.height = 0;
+  nodes_.emplace(hash, std::move(node));
+  head_ = hash;
+}
+
+const BlockTree::Node& BlockTree::node(const Hash256& hash) const {
+  const auto it = nodes_.find(hash);
+  ETHSHARD_CHECK_MSG(it != nodes_.end(), "unknown block hash");
+  return it->second;
+}
+
+bool BlockTree::insert(Block block) {
+  const Hash256 hash = block.hash();
+  if (nodes_.contains(hash)) return false;
+  const auto parent_it = nodes_.find(block.parent_hash);
+  if (parent_it == nodes_.end()) return false;
+  const Node& parent = parent_it->second;
+  if (block.number != parent.height + 1) return false;
+  if (block.timestamp < parent.block.timestamp) return false;
+
+  Node node;
+  node.parent = block.parent_hash;
+  node.height = block.number;
+  node.block = std::move(block);
+  const std::uint64_t height = node.height;
+  nodes_.emplace(hash, std::move(node));
+
+  // Longest chain wins; equal heights keep the incumbent unless the
+  // challenger's hash is smaller (a deterministic, stake-free tie-break).
+  const std::uint64_t head_h = height_of(head_);
+  const bool better =
+      height > head_h || (height == head_h && hash < head_);
+  if (better) {
+    last_reorg_ = reorg_between(head_, hash);
+    head_ = hash;
+  } else {
+    last_reorg_ = Reorg{};
+  }
+  return true;
+}
+
+std::uint64_t BlockTree::height_of(const Hash256& hash) const {
+  return node(hash).height;
+}
+
+const Block& BlockTree::block_of(const Hash256& hash) const {
+  return node(hash).block;
+}
+
+std::vector<Hash256> BlockTree::canonical_chain() const {
+  std::vector<Hash256> chain;
+  Hash256 cur = head_;
+  while (true) {
+    chain.push_back(cur);
+    const Node& n = node(cur);
+    if (n.height == 0) break;
+    cur = n.parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool BlockTree::is_canonical(const Hash256& hash) const {
+  const Node& n = node(hash);
+  // Walk down from the head to this height.
+  Hash256 cur = head_;
+  while (node(cur).height > n.height) cur = node(cur).parent;
+  return cur == hash;
+}
+
+BlockTree::Reorg BlockTree::reorg_between(const Hash256& from,
+                                          const Hash256& to) const {
+  Reorg reorg;
+  Hash256 a = from;
+  Hash256 b = to;
+  // Lift the deeper side up to equal height.
+  while (node(a).height > node(b).height) {
+    reorg.rolled_back.push_back(a);
+    a = node(a).parent;
+  }
+  while (node(b).height > node(a).height) {
+    reorg.applied.push_back(b);
+    b = node(b).parent;
+  }
+  // Climb together to the common ancestor.
+  while (a != b) {
+    reorg.rolled_back.push_back(a);
+    reorg.applied.push_back(b);
+    a = node(a).parent;
+    b = node(b).parent;
+  }
+  std::reverse(reorg.applied.begin(), reorg.applied.end());
+  return reorg;
+}
+
+}  // namespace ethshard::eth

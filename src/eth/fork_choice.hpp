@@ -1,0 +1,84 @@
+// Block tree and longest-chain fork choice.
+//
+// A real chain is not born linear: miners race, and the canonical chain
+// (the one the paper's Fig. 1 events annotate) is selected by fork
+// choice. This module stores competing branches as a tree, applies the
+// longest-chain rule (height, deterministic hash tie-break) and computes
+// the rollback/apply lists of a reorganization — what a sharded node
+// would need to undo state migrations decided on an abandoned branch.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "eth/block.hpp"
+#include "eth/keccak.hpp"
+
+namespace ethshard::eth {
+
+/// Hash functor so Hash256 can key unordered containers.
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const {
+    return static_cast<std::size_t>(hash_prefix_u64(h));
+  }
+};
+
+class BlockTree {
+ public:
+  /// The tree is rooted at a genesis block (number 0).
+  explicit BlockTree(Block genesis);
+
+  /// Inserts a block whose parent is already known. Returns false (block
+  /// dropped) when the parent is unknown, the hash is a duplicate, the
+  /// number is not parent+1, or the timestamp precedes the parent's.
+  bool insert(Block block);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool contains(const Hash256& hash) const { return nodes_.contains(hash); }
+
+  /// Hash of the canonical tip (longest chain; ties broken toward the
+  /// lexicographically smaller hash so every node agrees).
+  const Hash256& head() const { return head_; }
+  std::uint64_t head_height() const { return height_of(head_); }
+
+  /// Height (= block number) of a known block.
+  std::uint64_t height_of(const Hash256& hash) const;
+  /// A known block's body.
+  const Block& block_of(const Hash256& hash) const;
+
+  /// Canonical chain, genesis first.
+  std::vector<Hash256> canonical_chain() const;
+  /// True iff the block is on the canonical chain.
+  bool is_canonical(const Hash256& hash) const;
+
+  /// A head switch: blocks leaving the canonical chain (tip-first) and
+  /// blocks joining it (ancestor-first).
+  struct Reorg {
+    std::vector<Hash256> rolled_back;
+    std::vector<Hash256> applied;
+  };
+
+  /// The reorg that moving from `from` to `to` implies (either may be any
+  /// known block; both lists empty when from == to).
+  Reorg reorg_between(const Hash256& from, const Hash256& to) const;
+
+  /// The reorg performed by the most recent successful insert() that
+  /// changed the head (empty lists otherwise).
+  const Reorg& last_reorg() const { return last_reorg_; }
+
+ private:
+  struct Node {
+    Block block;
+    Hash256 parent{};
+    std::uint64_t height = 0;
+  };
+
+  const Node& node(const Hash256& hash) const;
+
+  std::unordered_map<Hash256, Node, Hash256Hasher> nodes_;
+  Hash256 head_{};
+  Reorg last_reorg_;
+};
+
+}  // namespace ethshard::eth

@@ -1,0 +1,52 @@
+#include "eth/gas.hpp"
+
+#include <unordered_set>
+
+namespace ethshard::eth {
+
+std::uint64_t call_gas(const Call& call, bool callee_exists,
+                       const GasSchedule& schedule) {
+  std::uint64_t gas = schedule.g_memory_per_call;
+  switch (call.kind) {
+    case CallKind::kTransfer:
+      gas += schedule.g_call;
+      if (call.value_wei > 0) gas += schedule.g_callvalue;
+      if (!callee_exists) gas += schedule.g_newaccount;
+      break;
+    case CallKind::kContractCall:
+      gas += schedule.g_call;
+      if (call.value_wei > 0) gas += schedule.g_callvalue;
+      break;
+    case CallKind::kContractCreate:
+      gas += schedule.g_create + schedule.g_sset;  // init code stores
+      break;
+  }
+  return gas;
+}
+
+std::uint64_t transaction_gas(const Transaction& tx,
+                              const AccountExistsFn& account_exists,
+                              const GasSchedule& schedule) {
+  std::uint64_t gas = schedule.g_transaction;
+  std::unordered_set<AccountId> created_in_trace;
+  for (const Call& c : tx.calls) {
+    const bool exists = created_in_trace.contains(c.to) ||
+                        (account_exists && account_exists(c.to));
+    gas += call_gas(c, exists, schedule);
+    created_in_trace.insert(c.to);
+  }
+  return gas;
+}
+
+std::uint64_t transaction_gas(const Transaction& tx,
+                              const GasSchedule& schedule) {
+  return transaction_gas(
+      tx, [](AccountId) { return true; }, schedule);
+}
+
+std::uint64_t transaction_fee(const Transaction& tx,
+                              const GasSchedule& schedule) {
+  return transaction_gas(tx, schedule) * tx.gas_price;
+}
+
+}  // namespace ethshard::eth

@@ -1,0 +1,56 @@
+// Gas accounting (§II-A).
+//
+// "At the beginning of a transaction, users have to define the maximum
+// ether they are willing to pay ... Users can estimate the cost of a
+// transaction from the transaction's instructions and the cost of each
+// instruction." This model implements the estimation side: intrinsic
+// transaction cost plus per-call costs, after the fee schedule of the
+// Yellow Paper (simplified to the operations our call traces expose).
+// Gas doubles as an alternative load weight for the sharding simulator
+// (§IV lists computation as one of the three resources to balance).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "eth/transaction.hpp"
+
+namespace ethshard::eth {
+
+/// Fee schedule (Yellow Paper names, homestead-era values).
+struct GasSchedule {
+  std::uint64_t g_transaction = 21000;  ///< intrinsic cost of any tx
+  std::uint64_t g_call = 700;           ///< CALL to an existing account
+  std::uint64_t g_callvalue = 9000;     ///< surcharge when value > 0
+  std::uint64_t g_newaccount = 25000;   ///< transfer to a fresh account
+  std::uint64_t g_create = 32000;       ///< CREATE a contract
+  std::uint64_t g_sset = 20000;         ///< storage slot 0 → non-zero
+  std::uint64_t g_memory_per_call = 50; ///< flat memory/stack overhead
+};
+
+/// Gas consumed by a single call. `callee_exists` reports whether the
+/// callee account existed before this call (a transfer to a fresh
+/// account pays g_newaccount; creates always pay g_create + g_sset).
+std::uint64_t call_gas(const Call& call, bool callee_exists,
+                       const GasSchedule& schedule = {});
+
+/// Whether an account existed before the enclosing transaction's call.
+using AccountExistsFn = std::function<bool(AccountId)>;
+
+/// Estimated gas for a whole transaction: intrinsic cost + every call in
+/// its trace. `account_exists` answers existence *before* the
+/// transaction; accounts created earlier in the same trace count as
+/// existing for subsequent calls.
+std::uint64_t transaction_gas(const Transaction& tx,
+                              const AccountExistsFn& account_exists,
+                              const GasSchedule& schedule = {});
+
+/// Convenience overload: every callee assumed to pre-exist.
+std::uint64_t transaction_gas(const Transaction& tx,
+                              const GasSchedule& schedule = {});
+
+/// Fee in wei: gas × gas_price (all callees assumed to pre-exist).
+std::uint64_t transaction_fee(const Transaction& tx,
+                              const GasSchedule& schedule = {});
+
+}  // namespace ethshard::eth

@@ -1,0 +1,173 @@
+#include "eth/keccak.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ethshard::eth {
+
+namespace {
+
+constexpr int kRounds = 24;
+constexpr std::size_t kRateBytes = 136;  // Keccak-256: 1600 - 2*256 bits
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808AULL,
+    0x8000000080008000ULL, 0x000000000000808BULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008AULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000AULL,
+    0x000000008000808BULL, 0x800000000000008BULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800AULL, 0x800000008000000AULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr int kRotations[24] = {1,  3,  6,  10, 15, 21, 28, 36,
+                                45, 55, 2,  14, 27, 41, 56, 8,
+                                25, 43, 62, 18, 39, 61, 20, 44};
+
+constexpr int kPiLane[24] = {10, 7,  11, 17, 18, 3,  5,  16,
+                             8,  21, 24, 4,  15, 23, 19, 13,
+                             12, 2,  20, 14, 22, 9,  6,  1};
+
+inline std::uint64_t rotl64(std::uint64_t x, int n) {
+  return (x << n) | (x >> (64 - n));
+}
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x)
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 25; y += 5) a[x + y] ^= d;
+    }
+    // Rho and Pi
+    std::uint64_t last = a[1];
+    for (int i = 0; i < 24; ++i) {
+      const int j = kPiLane[i];
+      const std::uint64_t tmp = a[j];
+      a[j] = rotl64(last, kRotations[i]);
+      last = tmp;
+    }
+    // Chi
+    for (int y = 0; y < 25; y += 5) {
+      std::uint64_t row[5];
+      for (int x = 0; x < 5; ++x) row[x] = a[y + x];
+      for (int x = 0; x < 5; ++x)
+        a[y + x] = row[x] ^ (~row[(x + 1) % 5] & row[(x + 2) % 5]);
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Keccak256::Keccak256() = default;
+
+void Keccak256::update(const void* data, std::size_t len) {
+  ETHSHARD_CHECK(!finalized_);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const std::size_t take = std::min(len, kRateBytes - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == kRateBytes) absorb_block();
+  }
+}
+
+void Keccak256::update(std::string_view data) {
+  update(data.data(), data.size());
+}
+
+void Keccak256::update_u64(std::uint64_t v) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  update(bytes, sizeof(bytes));
+}
+
+void Keccak256::absorb_block() {
+  for (std::size_t i = 0; i < kRateBytes / 8; ++i) {
+    std::uint64_t lane = 0;
+    for (int b = 7; b >= 0; --b)
+      lane = (lane << 8) | buffer_[i * 8 + static_cast<std::size_t>(b)];
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffer_len_ = 0;
+}
+
+Hash256 Keccak256::finalize() {
+  ETHSHARD_CHECK(!finalized_);
+  finalized_ = true;
+  // Original Keccak padding: 0x01 .. 0x80 (multi-rate pad10*1).
+  std::memset(buffer_.data() + buffer_len_, 0, kRateBytes - buffer_len_);
+  buffer_[buffer_len_] = 0x01;
+  buffer_[kRateBytes - 1] |= 0x80;
+  buffer_len_ = kRateBytes;
+  absorb_block();
+
+  Hash256 out;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t lane = state_[i];
+    for (int b = 0; b < 8; ++b)
+      out[i * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(lane >> (8 * b));
+  }
+  return out;
+}
+
+Hash256 keccak256(std::string_view data) {
+  Keccak256 h;
+  h.update(data);
+  return h.finalize();
+}
+
+Hash256 keccak256(const std::vector<std::uint8_t>& data) {
+  Keccak256 h;
+  h.update(data.data(), data.size());
+  return h.finalize();
+}
+
+std::string to_hex(const Hash256& h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t b : h) {
+    out += digits[b >> 4];
+    out += digits[b & 0xF];
+  }
+  return out;
+}
+
+Hash256 hash_from_hex(std::string_view hex) {
+  if (hex.substr(0, 2) == "0x" || hex.substr(0, 2) == "0X") hex.remove_prefix(2);
+  ETHSHARD_CHECK_MSG(hex.size() == 64, "expected 64 hex chars");
+  Hash256 out;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const int hi = hex_digit(hex[2 * i]);
+    const int lo = hex_digit(hex[2 * i + 1]);
+    ETHSHARD_CHECK_MSG(hi >= 0 && lo >= 0, "invalid hex digit");
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::uint64_t hash_prefix_u64(const Hash256& h) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | h[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace ethshard::eth

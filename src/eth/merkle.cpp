@@ -1,0 +1,74 @@
+#include "eth/merkle.hpp"
+
+#include "util/check.hpp"
+
+namespace ethshard::eth {
+
+namespace {
+
+Hash256 hash_pair(const Hash256& left, const Hash256& right) {
+  Keccak256 h;
+  h.update(left.data(), left.size());
+  h.update(right.data(), right.size());
+  return h.finalize();
+}
+
+std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
+  std::vector<Hash256> up;
+  up.reserve((level.size() + 1) / 2);
+  for (std::size_t i = 0; i < level.size(); i += 2) {
+    const Hash256& left = level[i];
+    const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+    up.push_back(hash_pair(left, right));
+  }
+  return up;
+}
+
+}  // namespace
+
+Hash256 merkle_root(std::span<const Hash256> leaves) {
+  if (leaves.empty()) return keccak256("");
+  std::vector<Hash256> level(leaves.begin(), leaves.end());
+  while (level.size() > 1) level = next_level(level);
+  return level.front();
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) leaves.push_back(keccak256(""));
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1)
+    levels_.push_back(next_level(levels_.back()));
+}
+
+std::vector<ProofStep> MerkleTree::prove(std::size_t index) const {
+  ETHSHARD_CHECK(index < std::max<std::size_t>(leaf_count_, 1));
+  std::vector<ProofStep> proof;
+  std::size_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sib = (i % 2 == 0) ? i + 1 : i - 1;
+    const Hash256& sibling =
+        sib < level.size() ? level[sib] : level[i];  // duplicated last
+    proof.push_back(ProofStep{sibling, /*sibling_on_left=*/i % 2 == 1});
+    i /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& leaf, std::size_t index,
+                        std::span<const ProofStep> proof,
+                        const Hash256& root) {
+  Hash256 acc = leaf;
+  std::size_t i = index;
+  for (const ProofStep& step : proof) {
+    acc = step.sibling_on_left ? hash_pair(step.sibling, acc)
+                               : hash_pair(acc, step.sibling);
+    // Position parity must be consistent with the claimed side.
+    if ((i % 2 == 1) != step.sibling_on_left) return false;
+    i /= 2;
+  }
+  return acc == root;
+}
+
+}  // namespace ethshard::eth

@@ -1,0 +1,50 @@
+// Binary Merkle trees over Keccak-256.
+//
+// Ethereum commits its world state and transaction lists with Merkle
+// (Patricia) tries; this is the flat binary equivalent: enough to give
+// blocks verifiable state commitments and membership proofs, which the
+// StateDb uses for its state_root. Odd levels duplicate the last node
+// (Bitcoin-style), and inner nodes hash the concatenation of children.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eth/keccak.hpp"
+
+namespace ethshard::eth {
+
+/// Root of a binary Merkle tree over `leaves`. An empty set has the
+/// well-defined root keccak256("").
+Hash256 merkle_root(std::span<const Hash256> leaves);
+
+/// A sibling step in a Merkle proof.
+struct ProofStep {
+  Hash256 sibling;
+  bool sibling_on_left = false;
+};
+
+/// Full tree with O(log n) membership proofs.
+class MerkleTree {
+ public:
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  const Hash256& root() const { return levels_.back().front(); }
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Proof that leaf `index` is under root(). Precondition:
+  /// index < leaf_count().
+  std::vector<ProofStep> prove(std::size_t index) const;
+
+  /// Verifies a proof produced by prove() (static: needs no tree).
+  static bool verify(const Hash256& leaf, std::size_t index,
+                     std::span<const ProofStep> proof, const Hash256& root);
+
+ private:
+  std::size_t leaf_count_;
+  /// levels_[0] = leaves (padded), levels_.back() = {root}.
+  std::vector<std::vector<Hash256>> levels_;
+};
+
+}  // namespace ethshard::eth

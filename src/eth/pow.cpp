@@ -1,0 +1,39 @@
+#include "eth/pow.hpp"
+
+#include "util/check.hpp"
+
+namespace ethshard::eth {
+
+std::uint64_t pow_target(unsigned difficulty_bits) {
+  ETHSHARD_CHECK(difficulty_bits < 64);
+  return ~std::uint64_t{0} >> difficulty_bits;
+}
+
+Hash256 pow_digest(const Hash256& block_hash, std::uint64_t nonce) {
+  Keccak256 h;
+  h.update(block_hash.data(), block_hash.size());
+  h.update_u64(nonce);
+  return h.finalize();
+}
+
+bool check_seal(const Block& block, const Seal& seal,
+                unsigned difficulty_bits) {
+  const Hash256 digest = pow_digest(block.hash(), seal.nonce);
+  if (digest != seal.mix) return false;
+  return hash_prefix_u64(digest) <= pow_target(difficulty_bits);
+}
+
+std::optional<Seal> mine(const Block& block, unsigned difficulty_bits,
+                         std::uint64_t max_attempts,
+                         std::uint64_t start_nonce) {
+  const std::uint64_t target = pow_target(difficulty_bits);
+  const Hash256 base = block.hash();
+  for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    const std::uint64_t nonce = start_nonce + i;
+    const Hash256 digest = pow_digest(base, nonce);
+    if (hash_prefix_u64(digest) <= target) return Seal{nonce, digest};
+  }
+  return std::nullopt;
+}
+
+}  // namespace ethshard::eth

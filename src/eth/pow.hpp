@@ -1,0 +1,43 @@
+// Proof-of-work sealing (§I: "To produce a valid block, miners must
+// solve a cryptographic puzzle").
+//
+// A simplified Ethash stand-in: a block seal is a 64-bit nonce such that
+// keccak256(block_hash ‖ nonce) interpreted big-endian lies below a
+// difficulty target. Difficulty is expressed in leading zero bits of the
+// 64-bit digest prefix, so expected work is 2^bits hash evaluations —
+// enough to demonstrate and test the mechanism without burning CPU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "eth/block.hpp"
+#include "eth/keccak.hpp"
+
+namespace ethshard::eth {
+
+/// A solved puzzle for one block.
+struct Seal {
+  std::uint64_t nonce = 0;
+  Hash256 mix{};  ///< keccak256(block_hash ‖ nonce), the proved digest
+};
+
+/// The 64-bit big-endian target below which the digest prefix must fall.
+/// Precondition: difficulty_bits < 64.
+std::uint64_t pow_target(unsigned difficulty_bits);
+
+/// The digest a (block, nonce) pair produces.
+Hash256 pow_digest(const Hash256& block_hash, std::uint64_t nonce);
+
+/// True iff the seal proves work at the given difficulty for this block.
+bool check_seal(const Block& block, const Seal& seal,
+                unsigned difficulty_bits);
+
+/// Searches nonces from `start_nonce` upward; returns the first seal
+/// within `max_attempts` tries, or nullopt if the budget is exhausted.
+/// Deterministic: the same block and start always yield the same seal.
+std::optional<Seal> mine(const Block& block, unsigned difficulty_bits,
+                         std::uint64_t max_attempts = 1 << 22,
+                         std::uint64_t start_nonce = 0);
+
+}  // namespace ethshard::eth

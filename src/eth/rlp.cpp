@@ -1,0 +1,177 @@
+#include "eth/rlp.hpp"
+
+#include "util/check.hpp"
+
+namespace ethshard::eth::rlp {
+
+namespace {
+
+/// Big-endian minimal byte representation of v ("" for 0).
+Bytes be_bytes(std::uint64_t v) {
+  Bytes out;
+  while (v > 0) {
+    out.insert(out.begin(), static_cast<std::uint8_t>(v & 0xFF));
+    v >>= 8;
+  }
+  return out;
+}
+
+void append_length_prefix(Bytes& out, std::size_t len,
+                          std::uint8_t short_base,
+                          std::uint8_t long_base) {
+  if (len <= 55) {
+    out.push_back(static_cast<std::uint8_t>(short_base + len));
+    return;
+  }
+  const Bytes len_bytes = be_bytes(len);
+  out.push_back(
+      static_cast<std::uint8_t>(long_base + len_bytes.size()));
+  out.insert(out.end(), len_bytes.begin(), len_bytes.end());
+}
+
+struct Cursor {
+  const Bytes* data;
+  std::size_t pos = 0;
+
+  std::uint8_t peek() const {
+    ETHSHARD_CHECK_MSG(pos < data->size(), "rlp: truncated input");
+    return (*data)[pos];
+  }
+  std::uint8_t take() {
+    const std::uint8_t b = peek();
+    ++pos;
+    return b;
+  }
+  Bytes take_n(std::size_t n) {
+    ETHSHARD_CHECK_MSG(pos + n <= data->size(), "rlp: truncated input");
+    Bytes out(data->begin() + static_cast<std::ptrdiff_t>(pos),
+              data->begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return out;
+  }
+
+  std::size_t take_long_length(std::size_t len_of_len) {
+    ETHSHARD_CHECK_MSG(len_of_len >= 1 && len_of_len <= 8,
+                       "rlp: bad length-of-length");
+    const Bytes raw = take_n(len_of_len);
+    ETHSHARD_CHECK_MSG(raw.front() != 0, "rlp: non-minimal length");
+    std::size_t len = 0;
+    for (std::uint8_t b : raw) len = (len << 8) | b;
+    ETHSHARD_CHECK_MSG(len > 55, "rlp: long form used for short payload");
+    return len;
+  }
+};
+
+Item decode_item(Cursor& cur) {
+  const std::uint8_t tag = cur.take();
+  if (tag <= 0x7F) {
+    Item item;
+    item.bytes = {tag};
+    return item;
+  }
+  if (tag <= 0xB7) {  // short string
+    const std::size_t len = tag - 0x80u;
+    Item item;
+    item.bytes = cur.take_n(len);
+    // Canonical: a 1-byte string < 0x80 must have used the single-byte
+    // form.
+    ETHSHARD_CHECK_MSG(!(len == 1 && item.bytes[0] <= 0x7F),
+                       "rlp: non-canonical single byte");
+    return item;
+  }
+  if (tag <= 0xBF) {  // long string
+    const std::size_t len = cur.take_long_length(tag - 0xB7u);
+    Item item;
+    item.bytes = cur.take_n(len);
+    return item;
+  }
+  // Lists.
+  std::size_t payload_len;
+  if (tag <= 0xF7) {
+    payload_len = tag - 0xC0u;
+  } else {
+    payload_len = cur.take_long_length(tag - 0xF7u);
+  }
+  const std::size_t end = cur.pos + payload_len;
+  ETHSHARD_CHECK_MSG(end <= cur.data->size(), "rlp: truncated list");
+  Item item;
+  item.is_list = true;
+  while (cur.pos < end) item.items.push_back(decode_item(cur));
+  ETHSHARD_CHECK_MSG(cur.pos == end, "rlp: list payload overrun");
+  return item;
+}
+
+}  // namespace
+
+bool operator==(const Item& a, const Item& b) {
+  return a.is_list == b.is_list && a.bytes == b.bytes && a.items == b.items;
+}
+
+Item Item::string(Bytes b) {
+  Item item;
+  item.bytes = std::move(b);
+  return item;
+}
+
+Item Item::string(std::string_view s) {
+  Item item;
+  item.bytes.assign(s.begin(), s.end());
+  return item;
+}
+
+Item Item::integer(std::uint64_t v) {
+  Item item;
+  item.bytes = be_bytes(v);
+  return item;
+}
+
+Item Item::list(std::vector<Item> children) {
+  Item item;
+  item.is_list = true;
+  item.items = std::move(children);
+  return item;
+}
+
+std::uint64_t Item::to_integer() const {
+  ETHSHARD_CHECK_MSG(!is_list, "rlp: integer expected, got list");
+  ETHSHARD_CHECK_MSG(bytes.size() <= 8, "rlp: integer too wide");
+  ETHSHARD_CHECK_MSG(bytes.empty() || bytes.front() != 0,
+                     "rlp: non-canonical integer (leading zero)");
+  std::uint64_t v = 0;
+  for (std::uint8_t b : bytes) v = (v << 8) | b;
+  return v;
+}
+
+Bytes encode(const Item& item) {
+  Bytes out;
+  if (!item.is_list) {
+    if (item.bytes.size() == 1 && item.bytes[0] <= 0x7F) {
+      out.push_back(item.bytes[0]);
+      return out;
+    }
+    append_length_prefix(out, item.bytes.size(), 0x80, 0xB7);
+    out.insert(out.end(), item.bytes.begin(), item.bytes.end());
+    return out;
+  }
+  Bytes payload;
+  for (const Item& child : item.items) {
+    const Bytes enc = encode(child);
+    payload.insert(payload.end(), enc.begin(), enc.end());
+  }
+  append_length_prefix(out, payload.size(), 0xC0, 0xF7);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Bytes encode_string(std::string_view s) { return encode(Item::string(s)); }
+
+Bytes encode_integer(std::uint64_t v) { return encode(Item::integer(v)); }
+
+Item decode(const Bytes& encoded) {
+  Cursor cur{&encoded};
+  Item item = decode_item(cur);
+  ETHSHARD_CHECK_MSG(cur.pos == encoded.size(), "rlp: trailing bytes");
+  return item;
+}
+
+}  // namespace ethshard::eth::rlp

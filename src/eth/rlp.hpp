@@ -1,0 +1,57 @@
+// Recursive Length Prefix (RLP) encoding — Ethereum's canonical
+// serialization (Yellow Paper, Appendix B). Transactions, blocks and the
+// state trie are all RLP-encoded on the wire and under the hashes; this
+// implementation provides byte-exact encoding and strict decoding for
+// the two RLP forms: byte strings and (arbitrarily nested) lists.
+//
+// Canonical rules implemented (and enforced when decoding):
+//  * [0x00, 0x7f]                  single byte, encodes itself;
+//  * [0x80, 0xb7] + payload        string of 0-55 bytes;
+//  * [0xb8, 0xbf] + len + payload  longer string, big-endian length;
+//  * [0xc0, 0xf7] + items         list with 0-55 payload bytes;
+//  * [0xf8, 0xff] + len + items   longer list.
+// Integers encode as big-endian byte strings without leading zeros
+// (zero encodes as the empty string).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ethshard::eth::rlp {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// An RLP item: either a byte string or a list of items.
+struct Item {
+  bool is_list = false;
+  Bytes bytes;               ///< payload when !is_list
+  std::vector<Item> items;   ///< children when is_list
+
+  /// Convenience factories.
+  static Item string(Bytes b);
+  static Item string(std::string_view s);
+  static Item integer(std::uint64_t v);
+  static Item list(std::vector<Item> children);
+
+  /// Interprets the payload as a big-endian unsigned integer.
+  /// Throws util::CheckFailure on lists, >8-byte payloads, or non-
+  /// canonical leading zeros.
+  std::uint64_t to_integer() const;
+
+  friend bool operator==(const Item&, const Item&);
+};
+
+/// Canonical encoding of an item.
+Bytes encode(const Item& item);
+
+/// Convenience: encode a raw byte string / an integer.
+Bytes encode_string(std::string_view s);
+Bytes encode_integer(std::uint64_t v);
+
+/// Strict decoding: the buffer must contain exactly one item with no
+/// trailing bytes, and every length prefix must be canonical (minimal).
+/// Throws util::CheckFailure otherwise.
+Item decode(const Bytes& encoded);
+
+}  // namespace ethshard::eth::rlp

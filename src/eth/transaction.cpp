@@ -1,0 +1,35 @@
+#include "eth/transaction.hpp"
+
+#include <unordered_set>
+
+namespace ethshard::eth {
+
+bool Transaction::well_formed() const {
+  if (calls.empty()) return false;
+  if (calls.front().from != sender) return false;
+  std::unordered_set<AccountId> touched;
+  touched.insert(sender);
+  for (const Call& c : calls) {
+    if (!touched.contains(c.from)) return false;
+    touched.insert(c.to);
+  }
+  return true;
+}
+
+Hash256 Transaction::hash() const {
+  Keccak256 h;
+  h.update_u64(sender);
+  h.update_u64(nonce);
+  h.update_u64(gas_limit);
+  h.update_u64(gas_price);
+  h.update_u64(calls.size());
+  for (const Call& c : calls) {
+    h.update_u64(c.from);
+    h.update_u64(c.to);
+    h.update_u64(static_cast<std::uint64_t>(c.kind));
+    h.update_u64(c.value_wei);
+  }
+  return h.finalize();
+}
+
+}  // namespace ethshard::eth

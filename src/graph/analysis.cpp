@@ -1,0 +1,177 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ethshard::graph {
+
+std::uint64_t Components::largest() const {
+  std::uint64_t best = 0;
+  for (std::uint64_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+Components connected_components(const Graph& g) {
+  const std::uint64_t n = g.num_vertices();
+  Components result;
+  result.component_of.assign(n, Graph::kInvalid);
+
+  // For directed graphs, arcs only go one way in the CSR; weak
+  // connectivity needs the reverse arcs too.
+  std::vector<std::vector<Vertex>> reverse;
+  if (g.directed()) {
+    reverse.resize(n);
+    for (Vertex v = 0; v < n; ++v)
+      for (const Arc& a : g.neighbors(v)) reverse[a.to].push_back(v);
+  }
+
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (result.component_of[start] != Graph::kInvalid) continue;
+    const Vertex comp = result.sizes.size();
+    result.sizes.push_back(0);
+    stack.push_back(start);
+    result.component_of[start] = comp;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      ++result.sizes[comp];
+      auto visit = [&](Vertex u) {
+        if (result.component_of[u] == Graph::kInvalid) {
+          result.component_of[u] = comp;
+          stack.push_back(u);
+        }
+      };
+      for (const Arc& a : g.neighbors(v)) visit(a.to);
+      if (g.directed())
+        for (Vertex u : reverse[v]) visit(u);
+    }
+  }
+  return result;
+}
+
+CoreDecomposition kcore_decomposition(const Graph& g) {
+  ETHSHARD_CHECK(!g.directed());
+  const std::uint64_t n = g.num_vertices();
+  CoreDecomposition result;
+  result.core_of.assign(n, 0);
+  if (n == 0) return result;
+
+  // Peeling with bucket sort by current degree (Batagelj–Zaveršnik).
+  std::uint64_t max_degree = 0;
+  std::vector<std::uint64_t> degree(n);
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  std::vector<std::uint64_t> bucket_start(max_degree + 2, 0);
+  for (Vertex v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d)
+    bucket_start[d] += bucket_start[d - 1];
+
+  std::vector<Vertex> order(n);        // vertices sorted by degree
+  std::vector<std::uint64_t> pos(n);   // position of v in `order`
+  {
+    std::vector<std::uint64_t> fill(bucket_start.begin(),
+                                    bucket_start.end() - 1);
+    for (Vertex v = 0; v < n; ++v) {
+      pos[v] = fill[degree[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Vertex v = order[i];
+    result.core_of[v] = degree[v];
+    for (const Arc& a : g.neighbors(v)) {
+      const Vertex u = a.to;
+      if (degree[u] <= degree[v]) continue;
+      // Swap u with the first vertex of its degree bucket, then shrink.
+      const std::uint64_t du = degree[u];
+      const std::uint64_t head = bucket_start[du];
+      const Vertex w = order[head];
+      std::swap(order[pos[u]], order[head]);
+      std::swap(pos[u], pos[w]);
+      ++bucket_start[du];
+      --degree[u];
+    }
+  }
+
+  for (Vertex v = 0; v < n; ++v)
+    result.max_core = std::max(result.max_core, result.core_of[v]);
+  for (Vertex v = 0; v < n; ++v)
+    if (result.core_of[v] == result.max_core) ++result.nucleus_size;
+  return result;
+}
+
+ClusteringStats clustering(const Graph& g) {
+  const std::uint64_t n = g.num_vertices();
+  ClusteringStats stats;
+  if (n == 0) return stats;
+  ETHSHARD_CHECK(!g.directed());
+
+  // Orient each edge from lower-(degree, id) to higher; each triangle is
+  // counted exactly once at its lowest-ranked vertex.
+  auto rank_less = [&](Vertex a, Vertex b) {
+    const std::uint64_t da = g.degree(a);
+    const std::uint64_t db = g.degree(b);
+    return da < db || (da == db && a < b);
+  };
+
+  std::vector<std::vector<Vertex>> forward(n);
+  for (Vertex v = 0; v < n; ++v)
+    for (const Arc& a : g.neighbors(v))
+      if (rank_less(v, a.to)) forward[v].push_back(a.to);
+
+  std::vector<std::uint64_t> mark(n, 0);
+  std::uint64_t stamp = 0;
+  std::uint64_t wedges = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+    ++stamp;
+    for (Vertex u : forward[v]) mark[u] = stamp;
+    for (Vertex u : forward[v])
+      for (Vertex w : forward[u])
+        if (mark[w] == stamp) ++stats.triangles;
+  }
+  if (wedges > 0)
+    stats.global_coefficient =
+        3.0 * static_cast<double>(stats.triangles) /
+        static_cast<double>(wedges);
+  return stats;
+}
+
+DegreeStats degree_statistics(const Graph& g) {
+  DegreeStats stats;
+  const std::uint64_t n = g.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<std::uint64_t> degrees;
+  degrees.reserve(n);
+  double total = 0;
+  stats.min_degree = ~std::uint64_t{0};
+  for (Vertex v = 0; v < n; ++v) {
+    const std::uint64_t d = g.degree(v);
+    degrees.push_back(d);
+    total += static_cast<double>(d);
+    if (d == 0) ++stats.isolated;
+    stats.min_degree = std::min(stats.min_degree, d);
+    if (d > stats.max_degree) {
+      stats.max_degree = d;
+      stats.max_degree_vertex = v;
+    }
+  }
+  stats.mean_degree = total / static_cast<double>(n);
+  std::sort(degrees.begin(), degrees.end());
+  stats.median_degree =
+      n % 2 == 1 ? static_cast<double>(degrees[n / 2])
+                 : (static_cast<double>(degrees[n / 2 - 1]) +
+                    static_cast<double>(degrees[n / 2])) /
+                       2.0;
+  return stats;
+}
+
+}  // namespace ethshard::graph

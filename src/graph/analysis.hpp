@@ -1,0 +1,72 @@
+// Structural analysis of the blockchain graph.
+//
+// Connected components and degree statistics, used to sanity-check the
+// synthetic workload against the real chain's known shape (a giant
+// component containing almost all active vertices, a power-law-ish degree
+// tail) and by the CLI's stats output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ethshard::graph {
+
+/// Result of a connected-components sweep.
+struct Components {
+  /// Component id of every vertex, dense in [0, count).
+  std::vector<Vertex> component_of;
+  /// Vertex count per component id.
+  std::vector<std::uint64_t> sizes;
+
+  std::uint64_t count() const { return sizes.size(); }
+  /// Size of the largest component (0 for an empty graph).
+  std::uint64_t largest() const;
+};
+
+/// Connected components of an undirected graph, or *weakly* connected
+/// components of a directed one (arc direction ignored; for a directed
+/// CSR the reverse adjacency is materialized internally, O(n + m)).
+Components connected_components(const Graph& g);
+
+/// Degree statistics (unweighted degrees). Self-contained so the graph
+/// library stays dependency-free of the metrics layer.
+struct DegreeStats {
+  std::uint64_t min_degree = 0;
+  std::uint64_t max_degree = 0;
+  double mean_degree = 0;
+  double median_degree = 0;
+  std::uint64_t isolated = 0;  ///< degree-0 vertices
+  Vertex max_degree_vertex = 0;
+};
+
+DegreeStats degree_statistics(const Graph& g);
+
+/// K-core decomposition (undirected): core_of[v] is the largest k such
+/// that v belongs to a subgraph where every vertex has degree >= k.
+/// High-core vertices are the densely connected hub nucleus that
+/// partitioners must split; computed with the standard peeling algorithm
+/// in O(n + m).
+struct CoreDecomposition {
+  std::vector<std::uint64_t> core_of;
+  std::uint64_t max_core = 0;
+  /// Vertices with core number == max_core (the innermost nucleus).
+  std::uint64_t nucleus_size = 0;
+};
+
+CoreDecomposition kcore_decomposition(const Graph& g);
+
+/// Triangle counting / clustering.
+struct ClusteringStats {
+  std::uint64_t triangles = 0;  ///< distinct triangles in the graph
+  /// Global clustering coefficient: 3·triangles / open-or-closed wedges,
+  /// in [0, 1]; 0 when the graph has no wedge.
+  double global_coefficient = 0;
+};
+
+/// Counts triangles with the rank-ordered wedge method, O(m^{3/2}) worst
+/// case. Precondition: g undirected.
+ClusteringStats clustering(const Graph& g);
+
+}  // namespace ethshard::graph

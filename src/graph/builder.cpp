@@ -1,0 +1,111 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ethshard::graph {
+
+namespace {
+constexpr std::uint64_t kIdLimit = std::uint64_t{1} << 32;
+}
+
+std::uint64_t GraphBuilder::key(Vertex u, Vertex v) {
+  return (u << 32) | v;
+}
+
+Vertex GraphBuilder::add_vertex(Weight weight) {
+  const Vertex id = vwgt_.size();
+  ETHSHARD_CHECK_MSG(id < kIdLimit, "vertex id space exhausted");
+  vwgt_.push_back(weight);
+  out_.emplace_back();
+  return id;
+}
+
+void GraphBuilder::ensure_vertices(std::uint64_t count, Weight default_weight) {
+  while (vwgt_.size() < count) add_vertex(default_weight);
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v, Weight weight) {
+  ETHSHARD_CHECK(u < vwgt_.size() && v < vwgt_.size());
+  auto [it, inserted] = edge_weight_.try_emplace(key(u, v), weight);
+  if (inserted) {
+    out_[u].push_back(v);
+  } else {
+    it->second += weight;
+  }
+  total_edge_weight_ += weight;
+}
+
+void GraphBuilder::add_vertex_weight(Vertex v, Weight weight) {
+  ETHSHARD_CHECK(v < vwgt_.size());
+  vwgt_[v] += weight;
+}
+
+bool GraphBuilder::has_edge(Vertex u, Vertex v) const {
+  return edge_weight_.contains(key(u, v));
+}
+
+Weight GraphBuilder::edge_weight(Vertex u, Vertex v) const {
+  auto it = edge_weight_.find(key(u, v));
+  return it == edge_weight_.end() ? 0 : it->second;
+}
+
+Graph GraphBuilder::build_directed() const {
+  const std::uint64_t n = vwgt_.size();
+  std::vector<std::uint64_t> xadj(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) xadj[v + 1] = xadj[v] + out_[v].size();
+
+  std::vector<Arc> adj(xadj[n]);
+  for (Vertex v = 0; v < n; ++v) {
+    std::uint64_t pos = xadj[v];
+    for (Vertex w : out_[v])
+      adj[pos++] = Arc{w, edge_weight_.at(key(v, w))};
+  }
+  return Graph::from_csr(std::move(xadj), std::move(adj), vwgt_,
+                         /*directed=*/true);
+}
+
+Graph GraphBuilder::build_undirected() const {
+  const std::uint64_t n = vwgt_.size();
+  // First pass: undirected degree of every vertex (self-loops dropped;
+  // an edge present in both directions contributes once per endpoint).
+  std::vector<std::uint64_t> deg(n, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : out_[u]) {
+      if (v == u) continue;
+      // Count {u,v} only from the canonical direction to avoid doubles
+      // when both u→v and v→u exist.
+      if (u < v || !has_edge(v, u)) {
+        ++deg[u];
+        ++deg[v];
+      }
+    }
+  }
+  std::vector<std::uint64_t> xadj(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) xadj[v + 1] = xadj[v] + deg[v];
+
+  std::vector<Arc> adj(xadj[n]);
+  std::vector<std::uint64_t> fill = xadj;  // next write position per vertex
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : out_[u]) {
+      if (v == u) continue;
+      if (u < v || !has_edge(v, u)) {
+        const Weight w = edge_weight_.at(key(u, v)) + edge_weight(v, u);
+        adj[fill[u]++] = Arc{v, w};
+        adj[fill[v]++] = Arc{u, w};
+      }
+    }
+  }
+  return Graph::from_csr(std::move(xadj), std::move(adj), vwgt_,
+                         /*directed=*/false);
+}
+
+void GraphBuilder::clear() {
+  vwgt_.clear();
+  out_.clear();
+  edge_weight_.clear();
+  total_edge_weight_ = 0;
+}
+
+}  // namespace ethshard::graph

@@ -1,0 +1,39 @@
+#include "graph/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ethshard::graph {
+
+void write_dot(std::ostream& out, const Graph& g, const DotOptions& opts) {
+  const bool directed = g.directed();
+  out << (directed ? "digraph " : "graph ") << opts.name << " {\n";
+  out << "  node [shape=ellipse];\n";
+
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    out << "  v" << v << " [label=\""
+        << (opts.label ? opts.label(v) : std::to_string(v)) << '"';
+    if (opts.is_contract && opts.is_contract(v)) out << ", style=dashed";
+    out << "];\n";
+  }
+
+  const char* arrow = directed ? " -> " : " -- ";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const Arc& a : g.neighbors(v)) {
+      if (!directed && a.to < v) continue;  // emit undirected edges once
+      out << "  v" << v << arrow << 'v' << a.to;
+      if (!(opts.hide_unit_weights && a.weight == 1))
+        out << " [label=\"" << a.weight << "\"]";
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const Graph& g, const DotOptions& opts) {
+  std::ostringstream os;
+  write_dot(os, g, opts);
+  return os.str();
+}
+
+}  // namespace ethshard::graph

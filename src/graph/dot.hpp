@@ -1,0 +1,34 @@
+// Graphviz DOT export — reproduces the styling of the paper's Fig. 2:
+// accounts are full-line (solid) nodes, contracts dashed, arrows carry the
+// interaction count when it exceeds one.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ethshard::graph {
+
+/// Rendering options for write_dot.
+struct DotOptions {
+  /// Returns true when a vertex is a smart contract (drawn dashed).
+  std::function<bool(Vertex)> is_contract;
+  /// Vertex label; defaults to the numeric id.
+  std::function<std::string(Vertex)> label;
+  /// Graph name in the DOT header.
+  std::string name = "ethereum_subgraph";
+  /// Suppress "1" edge labels, as the paper does ("when no weight is
+  /// specified, the interaction happened once").
+  bool hide_unit_weights = true;
+};
+
+/// Writes the graph in DOT format. Directed graphs use ->, undirected --
+/// (with each undirected edge emitted once).
+void write_dot(std::ostream& out, const Graph& g, const DotOptions& opts = {});
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const Graph& g, const DotOptions& opts = {});
+
+}  // namespace ethshard::graph

@@ -1,0 +1,121 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+
+namespace ethshard::graph {
+
+namespace {
+/// Builds an undirected graph from an edge list with unit vertex weights.
+Graph from_edges(std::uint64_t n,
+                 const std::vector<std::pair<Vertex, Vertex>>& edges) {
+  GraphBuilder b;
+  b.ensure_vertices(n, 1);
+  for (auto [u, v] : edges) b.add_edge(u, v, 1);
+  return b.build_undirected();
+}
+}  // namespace
+
+Graph make_path(std::uint64_t n) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::uint64_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return from_edges(n, edges);
+}
+
+Graph make_cycle(std::uint64_t n) {
+  ETHSHARD_CHECK(n >= 3);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::uint64_t i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return from_edges(n, edges);
+}
+
+Graph make_complete(std::uint64_t n) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return from_edges(n, edges);
+}
+
+Graph make_grid(std::uint64_t rows, std::uint64_t cols) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  auto id = [cols](std::uint64_t r, std::uint64_t c) { return r * cols + c; };
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return from_edges(rows * cols, edges);
+}
+
+Graph make_erdos_renyi(std::uint64_t n, double p, util::Rng& rng) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::uint64_t i = 0; i < n; ++i)
+    for (std::uint64_t j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p)) edges.emplace_back(i, j);
+  return from_edges(n, edges);
+}
+
+Graph make_barabasi_albert(std::uint64_t n, std::uint64_t m, util::Rng& rng) {
+  ETHSHARD_CHECK(m >= 1 && n > m);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  // Endpoint pool: each vertex appears once per incident edge, so sampling
+  // uniformly from the pool is degree-proportional sampling.
+  std::vector<Vertex> pool;
+
+  // Seed: clique over the first m+1 vertices.
+  for (std::uint64_t i = 0; i <= m; ++i) {
+    for (std::uint64_t j = i + 1; j <= m; ++j) {
+      edges.emplace_back(i, j);
+      pool.push_back(i);
+      pool.push_back(j);
+    }
+  }
+  for (std::uint64_t v = m + 1; v < n; ++v) {
+    std::vector<Vertex> targets;
+    while (targets.size() < m) {
+      const Vertex t = pool[rng.uniform(pool.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (Vertex t : targets) {
+      edges.emplace_back(v, t);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+Graph make_planted_partition(std::uint64_t k, std::uint64_t group_size,
+                             double p_in, double p_out, util::Rng& rng) {
+  const std::uint64_t n = k * group_size;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t j = i + 1; j < n; ++j) {
+      const bool same = (i / group_size) == (j / group_size);
+      if (rng.bernoulli(same ? p_in : p_out)) edges.emplace_back(i, j);
+    }
+  }
+  return from_edges(n, edges);
+}
+
+Graph make_two_cliques(std::uint64_t n, std::uint64_t bridge_edges) {
+  ETHSHARD_CHECK(n >= 4 && n % 2 == 0 && bridge_edges >= 1);
+  const std::uint64_t half = n / 2;
+  ETHSHARD_CHECK_MSG(bridge_edges <= half, "at most n/2 distinct bridges");
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::uint64_t i = 0; i < half; ++i)
+    for (std::uint64_t j = i + 1; j < half; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(half + i, half + j);
+    }
+  for (std::uint64_t b = 0; b < bridge_edges; ++b)
+    edges.emplace_back(b % half, half + (b % half));
+  return from_edges(n, edges);
+}
+
+}  // namespace ethshard::graph

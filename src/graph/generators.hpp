@@ -1,0 +1,48 @@
+// Synthetic graph families for tests and partitioner benchmarks.
+//
+// These give known-structure inputs: paths and grids have known optimal
+// bisections, planted-partition graphs have a known community structure a
+// good partitioner must recover, and Barabási–Albert graphs reproduce the
+// hub-dominated degree distribution that makes hashing cut so many edges
+// on the real blockchain graph.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ethshard::graph {
+
+/// Path 0-1-2-…-(n-1); unit weights.
+Graph make_path(std::uint64_t n);
+
+/// Cycle over n vertices; unit weights. Precondition: n >= 3.
+Graph make_cycle(std::uint64_t n);
+
+/// Complete graph K_n; unit weights.
+Graph make_complete(std::uint64_t n);
+
+/// rows×cols 4-neighbour grid; unit weights.
+Graph make_grid(std::uint64_t rows, std::uint64_t cols);
+
+/// Erdős–Rényi G(n, p); unit weights. Expected edges p·n·(n-1)/2.
+Graph make_erdos_renyi(std::uint64_t n, double p, util::Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m` existing vertices chosen proportionally
+/// to degree. Produces power-law hubs. Precondition: n > m >= 1.
+Graph make_barabasi_albert(std::uint64_t n, std::uint64_t m, util::Rng& rng);
+
+/// Planted partition: `k` groups of `group_size` vertices; intra-group edge
+/// probability p_in, inter-group p_out (p_in >> p_out plants a clear
+/// k-way community structure).
+Graph make_planted_partition(std::uint64_t k, std::uint64_t group_size,
+                             double p_in, double p_out, util::Rng& rng);
+
+/// Two cliques of size n/2 joined by exactly `bridge_edges` edges — the
+/// canonical minimum-bisection instance (optimal cut = bridge_edges).
+/// Precondition: n >= 4 and even; bridge_edges >= 1.
+Graph make_two_cliques(std::uint64_t n, std::uint64_t bridge_edges);
+
+}  // namespace ethshard::graph

@@ -1,0 +1,142 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ethshard::graph {
+
+Graph Graph::from_adjacency(std::vector<std::vector<Arc>> adjacency,
+                            std::vector<Weight> vertex_weights,
+                            bool directed) {
+  const std::uint64_t n = adjacency.size();
+  ETHSHARD_CHECK(vertex_weights.size() == n);
+
+  Graph g;
+  g.directed_ = directed;
+  g.vwgt_ = std::move(vertex_weights);
+  g.xadj_.resize(n + 1, 0);
+
+  std::uint64_t arcs = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    arcs += adjacency[v].size();
+    g.xadj_[v + 1] = arcs;
+  }
+  g.adj_.reserve(arcs);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    auto& list = adjacency[v];
+    std::sort(list.begin(), list.end(),
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+    for (const Arc& a : list) {
+      ETHSHARD_CHECK_MSG(a.to < n, "arc target out of range");
+      g.adj_.push_back(a);
+      g.total_adjwgt_ += a.weight;
+    }
+  }
+  for (Weight w : g.vwgt_) g.total_vwgt_ += w;
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<std::uint64_t> xadj, std::vector<Arc> adj,
+                      std::vector<Weight> vertex_weights, bool directed) {
+  ETHSHARD_CHECK(!xadj.empty());
+  const std::uint64_t n = xadj.size() - 1;
+  ETHSHARD_CHECK(vertex_weights.size() == n);
+  ETHSHARD_CHECK(xadj.front() == 0 && xadj.back() == adj.size());
+
+  Graph g;
+  g.directed_ = directed;
+  g.xadj_ = std::move(xadj);
+  g.adj_ = std::move(adj);
+  g.vwgt_ = std::move(vertex_weights);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    ETHSHARD_CHECK(g.xadj_[v] <= g.xadj_[v + 1]);
+    auto* begin = g.adj_.data() + g.xadj_[v];
+    auto* end = g.adj_.data() + g.xadj_[v + 1];
+    std::sort(begin, end,
+              [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  for (const Arc& a : g.adj_) {
+    ETHSHARD_CHECK_MSG(a.to < n, "arc target out of range");
+    g.total_adjwgt_ += a.weight;
+  }
+  for (Weight w : g.vwgt_) g.total_vwgt_ += w;
+  return g;
+}
+
+Weight Graph::weighted_degree(Vertex v) const {
+  Weight sum = 0;
+  for (const Arc& a : neighbors(v)) sum += a.weight;
+  return sum;
+}
+
+Graph Graph::to_undirected() const {
+  const std::uint64_t n = num_vertices();
+  // Accumulate combined weights in per-vertex hash maps keyed by the
+  // smaller endpoint to merge u→v with v→u.
+  std::vector<std::vector<Arc>> adjacency(n);
+  {
+    std::vector<std::unordered_map<Vertex, Weight>> acc(n);
+    for (Vertex u = 0; u < n; ++u) {
+      for (const Arc& a : neighbors(u)) {
+        if (a.to == u) continue;  // drop self-loops
+        const Vertex lo = std::min(u, a.to);
+        const Vertex hi = std::max(u, a.to);
+        acc[lo][hi] += a.weight;
+      }
+    }
+    for (Vertex lo = 0; lo < n; ++lo) {
+      for (const auto& [hi, w] : acc[lo]) {
+        adjacency[lo].push_back(Arc{hi, w});
+        adjacency[hi].push_back(Arc{lo, w});
+      }
+    }
+  }
+  return from_adjacency(std::move(adjacency), vwgt_, /*directed=*/false);
+}
+
+Graph Graph::induced_subgraph(std::span<const Vertex> vertices,
+                              std::vector<Vertex>* old_to_new) const {
+  const std::uint64_t n = num_vertices();
+  std::vector<Vertex> map(n, kInvalid);
+  for (std::uint64_t i = 0; i < vertices.size(); ++i) {
+    const Vertex v = vertices[i];
+    ETHSHARD_CHECK_MSG(v < n, "subgraph vertex out of range");
+    ETHSHARD_CHECK_MSG(map[v] == kInvalid, "duplicate subgraph vertex");
+    map[v] = i;
+  }
+
+  std::vector<std::vector<Arc>> adjacency(vertices.size());
+  std::vector<Weight> weights(vertices.size());
+  for (std::uint64_t i = 0; i < vertices.size(); ++i) {
+    const Vertex old = vertices[i];
+    weights[i] = vwgt_[old];
+    for (const Arc& a : neighbors(old)) {
+      const Vertex nv = map[a.to];
+      if (nv != kInvalid) adjacency[i].push_back(Arc{nv, a.weight});
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return from_adjacency(std::move(adjacency), std::move(weights), directed_);
+}
+
+bool Graph::check_symmetric() const {
+  if (directed_) return false;
+  const std::uint64_t n = num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Arc& a : neighbors(u)) {
+      if (a.to == u) return false;  // self-loop
+      // Arcs are sorted by target; binary-search the reverse arc.
+      const auto nb = neighbors(a.to);
+      auto it = std::lower_bound(
+          nb.begin(), nb.end(), u,
+          [](const Arc& arc, Vertex v) { return arc.to < v; });
+      if (it == nb.end() || it->to != u || it->weight != a.weight)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ethshard::graph

@@ -1,0 +1,119 @@
+#include "graph/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ethshard::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'S', 'G', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, sizeof(buf));
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, sizeof(buf));
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), sizeof(buf));
+  ETHSHARD_CHECK_MSG(in.good(), "graph snapshot truncated");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  unsigned char buf[8];
+  in.read(reinterpret_cast<char*>(buf), sizeof(buf));
+  ETHSHARD_CHECK_MSG(in.good(), "graph snapshot truncated");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+}  // namespace
+
+void save_graph(std::ostream& out, const Graph& g) {
+  out.write(kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+  out.put(g.directed() ? 1 : 0);
+  const std::uint64_t n = g.num_vertices();
+  std::uint64_t arcs = 0;
+  for (Vertex v = 0; v < n; ++v) arcs += g.degree(v);
+  put_u64(out, n);
+  put_u64(out, arcs);
+
+  std::uint64_t offset = 0;
+  put_u64(out, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    offset += g.degree(v);
+    put_u64(out, offset);
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Arc& a : g.neighbors(v)) {
+      put_u64(out, a.to);
+      put_u64(out, a.weight);
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) put_u64(out, g.vertex_weight(v));
+  ETHSHARD_CHECK_MSG(out.good(), "graph snapshot write failed");
+}
+
+Graph load_graph(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  ETHSHARD_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                     "not a graph snapshot (bad magic)");
+  const std::uint32_t version = get_u32(in);
+  ETHSHARD_CHECK_MSG(version == kVersion,
+                     "unsupported snapshot version " << version);
+  const int directed_byte = in.get();
+  ETHSHARD_CHECK_MSG(directed_byte == 0 || directed_byte == 1,
+                     "corrupt snapshot (directed flag)");
+  const std::uint64_t n = get_u64(in);
+  const std::uint64_t arcs = get_u64(in);
+
+  std::vector<std::uint64_t> xadj(n + 1);
+  for (auto& x : xadj) x = get_u64(in);
+  ETHSHARD_CHECK_MSG(xadj.front() == 0 && xadj.back() == arcs,
+                     "corrupt snapshot (offsets)");
+
+  std::vector<Arc> adj(arcs);
+  for (Arc& a : adj) {
+    a.to = get_u64(in);
+    a.weight = get_u64(in);
+  }
+  std::vector<Weight> vwgt(n);
+  for (Weight& w : vwgt) w = get_u64(in);
+
+  return Graph::from_csr(std::move(xadj), std::move(adj), std::move(vwgt),
+                         directed_byte == 1);
+}
+
+void save_graph_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  save_graph(out, g);
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ETHSHARD_CHECK_MSG(in.good(), "cannot open " << path);
+  return load_graph(in);
+}
+
+}  // namespace ethshard::graph

@@ -1,0 +1,30 @@
+// Binary graph snapshots.
+//
+// A paper-scale cumulative graph takes minutes to rebuild from the trace;
+// this module saves/loads the CSR arrays directly (little-endian, with a
+// magic header and structural validation on load), so repeated analyses
+// start from a snapshot. Format:
+//
+//   "ESGR" u32_version u8_directed u64_n u64_arcs
+//   xadj[n+1] · arcs{to,weight}[arcs] · vwgt[n]     (all u64)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ethshard::graph {
+
+/// Writes the graph's CSR representation. The stream must be binary.
+void save_graph(std::ostream& out, const Graph& g);
+
+/// Reads a graph written by save_graph. Throws util::CheckFailure on a
+/// bad magic/version, truncation, or structurally invalid arrays.
+Graph load_graph(std::istream& in);
+
+/// File conveniences; throw util::CheckFailure when the file cannot open.
+void save_graph_file(const std::string& path, const Graph& g);
+Graph load_graph_file(const std::string& path);
+
+}  // namespace ethshard::graph

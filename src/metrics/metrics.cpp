@@ -1,0 +1,96 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ethshard::metrics {
+
+double static_edge_cut(const graph::Graph& g,
+                       const partition::Partition& p) {
+  const std::uint64_t total = g.num_edges();
+  if (total == 0) return 0.0;
+  return static_cast<double>(partition::edge_cut_count(g, p)) /
+         static_cast<double>(total);
+}
+
+double dynamic_edge_cut(const graph::Graph& g,
+                        const partition::Partition& p) {
+  const graph::Weight total = g.total_edge_weight();
+  if (total == 0) return 0.0;
+  return static_cast<double>(partition::edge_cut_weight(g, p)) /
+         static_cast<double>(total);
+}
+
+double static_balance(const partition::Partition& p) {
+  const auto sizes = p.shard_sizes();
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t s : sizes) {
+    total += s;
+    max = std::max(max, s);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(max) * static_cast<double>(p.k()) /
+         static_cast<double>(total);
+}
+
+double dynamic_balance(const graph::Graph& g,
+                       const partition::Partition& p) {
+  const auto weights = p.shard_weights(g);
+  graph::Weight total = 0;
+  graph::Weight max = 0;
+  for (graph::Weight w : weights) {
+    total += w;
+    max = std::max(max, w);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(max) * static_cast<double>(p.k()) /
+         static_cast<double>(total);
+}
+
+double normalized_balance(double balance, std::uint32_t k) {
+  if (k <= 1) return 0.0;
+  return (balance - 1.0) / (static_cast<double>(k) - 1.0);
+}
+
+WindowAccumulator::WindowAccumulator(std::uint32_t k) : k_(k), load_(k, 0) {
+  ETHSHARD_CHECK(k >= 1);
+}
+
+void WindowAccumulator::record_interaction(partition::ShardId a,
+                                           partition::ShardId b,
+                                           graph::Weight w) {
+  ETHSHARD_CHECK(a < k_ && b < k_);
+  total_interactions_ += w;
+  if (a != b) cross_interactions_ += w;
+}
+
+void WindowAccumulator::record_activity(partition::ShardId s,
+                                        graph::Weight w) {
+  ETHSHARD_CHECK(s < k_);
+  load_[s] += w;
+  total_load_ += w;
+}
+
+double WindowAccumulator::dynamic_edge_cut() const {
+  if (total_interactions_ == 0) return 0.0;
+  return static_cast<double>(cross_interactions_) /
+         static_cast<double>(total_interactions_);
+}
+
+double WindowAccumulator::dynamic_balance() const {
+  if (total_load_ == 0) return 1.0;
+  const graph::Weight max = *std::max_element(load_.begin(), load_.end());
+  return static_cast<double>(max) * static_cast<double>(k_) /
+         static_cast<double>(total_load_);
+}
+
+void WindowAccumulator::reset() {
+  total_interactions_ = 0;
+  cross_interactions_ = 0;
+  std::fill(load_.begin(), load_.end(), 0);
+  total_load_ = 0;
+}
+
+}  // namespace ethshard::metrics

@@ -1,0 +1,63 @@
+#include "metrics/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ethshard::metrics {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  ETHSHARD_CHECK(!sorted.empty());
+  ETHSHARD_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.5);
+  s.q3 = quantile_sorted(values, 0.75);
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  return s;
+}
+
+MeanStdev mean_stdev(const std::vector<double>& values) {
+  MeanStdev out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  out.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+  if (values.size() < 2) return out;
+  double ss = 0;
+  for (double v : values) {
+    const double d = v - out.mean;
+    ss += d * d;
+  }
+  out.stdev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  return out;
+}
+
+std::string to_string(const Summary& s, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  os << "min=" << s.min << " q1=" << s.q1 << " med=" << s.median
+     << " q3=" << s.q3 << " max=" << s.max << " mean=" << s.mean;
+  return os.str();
+}
+
+}  // namespace ethshard::metrics

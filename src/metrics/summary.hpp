@@ -1,0 +1,46 @@
+// Distribution summaries for the paper's box-and-whisker figures.
+//
+// Fig. 4 reports, per method and period, the min/max (whiskers), first and
+// third quartiles (box) and median (band) of the per-window metric
+// samples; Fig. 5 aggregates over the whole history.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ethshard::metrics {
+
+/// Five-number summary plus mean and count.
+struct Summary {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  std::size_t count = 0;
+};
+
+/// Summarizes a sample set (values are copied and sorted internally).
+/// Quantiles use linear interpolation between order statistics. An empty
+/// input yields an all-zero summary with count == 0.
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolated quantile of *sorted* data; q in [0, 1].
+/// Precondition: data non-empty and sorted ascending.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Mean and sample standard deviation (n−1 denominator; stdev 0 when
+/// n < 2). Used for cross-seed robustness reporting.
+struct MeanStdev {
+  double mean = 0;
+  double stdev = 0;
+  std::size_t count = 0;
+};
+
+MeanStdev mean_stdev(const std::vector<double>& values);
+
+/// "min=… q1=… med=… q3=… max=… mean=…" with the given precision.
+std::string to_string(const Summary& s, int precision = 4);
+
+}  // namespace ethshard::metrics

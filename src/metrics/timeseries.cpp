@@ -1,0 +1,95 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ethshard::metrics {
+
+TimeSeries ewma(const TimeSeries& series, double alpha) {
+  ETHSHARD_CHECK(alpha > 0.0 && alpha <= 1.0);
+  TimeSeries out;
+  out.reserve(series.size());
+  double acc = 0;
+  bool seeded = false;
+  for (const TimePoint& p : series) {
+    acc = seeded ? (1 - alpha) * acc + alpha * p.value : p.value;
+    seeded = true;
+    out.push_back(TimePoint{p.time, acc});
+  }
+  return out;
+}
+
+TimeSeries resample(const TimeSeries& series, util::Timestamp origin,
+                    util::Timestamp interval,
+                    const std::function<double(const std::vector<double>&)>&
+                        reduce) {
+  ETHSHARD_CHECK(interval > 0);
+  TimeSeries out;
+  std::vector<double> bucket;
+  bool open = false;
+  util::Timestamp bucket_start = 0;
+
+  auto flush = [&] {
+    if (!open || bucket.empty()) return;
+    out.push_back(TimePoint{bucket_start, reduce(bucket)});
+    bucket.clear();
+  };
+
+  for (const TimePoint& p : series) {
+    ETHSHARD_CHECK_MSG(p.time >= origin, "observation precedes origin");
+    const util::Timestamp start =
+        origin + (p.time - origin) / interval * interval;
+    if (!open || start != bucket_start) {
+      flush();
+      bucket_start = start;
+      open = true;
+    }
+    bucket.push_back(p.value);
+  }
+  flush();
+  return out;
+}
+
+TimeSeries resample_mean(const TimeSeries& series, util::Timestamp origin,
+                         util::Timestamp interval) {
+  return resample(series, origin, interval,
+                  [](const std::vector<double>& values) {
+                    return std::accumulate(values.begin(), values.end(),
+                                           0.0) /
+                           static_cast<double>(values.size());
+                  });
+}
+
+Summary summarize_range(const TimeSeries& series, util::Timestamp from,
+                        util::Timestamp to) {
+  std::vector<double> values;
+  for (const TimePoint& p : series)
+    if (p.time >= from && p.time < to) values.push_back(p.value);
+  return summarize(std::move(values));
+}
+
+util::Timestamp max_gap(const TimeSeries& series) {
+  util::Timestamp gap = 0;
+  for (std::size_t i = 1; i < series.size(); ++i)
+    gap = std::max(gap, series[i].time - series[i - 1].time);
+  return gap;
+}
+
+TimeSeries rolling_mean(const TimeSeries& series, std::size_t count) {
+  ETHSHARD_CHECK(count >= 1);
+  TimeSeries out;
+  out.reserve(series.size());
+  double sum = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    sum += series[i].value;
+    if (i >= count) sum -= series[i - count].value;
+    const std::size_t have = std::min(i + 1, count);
+    out.push_back(
+        TimePoint{series[i].time, sum / static_cast<double>(have)});
+  }
+  return out;
+}
+
+}  // namespace ethshard::metrics

@@ -1,0 +1,58 @@
+// Time-series utilities for metric streams.
+//
+// The simulator emits one sample per four-hour window; the figures
+// aggregate them (weekly means in our Fig. 3 rendering, per-period
+// box-plots in Fig. 4) and the TR-METIS trigger smooths them. These
+// helpers centralize that arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "metrics/summary.hpp"
+#include "util/sim_time.hpp"
+
+namespace ethshard::metrics {
+
+/// One (time, value) observation.
+struct TimePoint {
+  util::Timestamp time = 0;
+  double value = 0;
+
+  friend bool operator==(const TimePoint&, const TimePoint&) = default;
+};
+
+/// A time-ordered series of observations.
+using TimeSeries = std::vector<TimePoint>;
+
+/// Exponentially weighted moving average with smoothing factor alpha in
+/// (0, 1]; alpha = 1 reproduces the input. The first observation seeds
+/// the average. Preconditions: 0 < alpha <= 1.
+TimeSeries ewma(const TimeSeries& series, double alpha);
+
+/// Buckets observations into fixed intervals anchored at `origin` and
+/// reduces each non-empty bucket with `reduce` (over the bucket's
+/// values). The emitted point carries the bucket's start time.
+/// Preconditions: interval > 0; series sorted by time.
+TimeSeries resample(const TimeSeries& series, util::Timestamp origin,
+                    util::Timestamp interval,
+                    const std::function<double(const std::vector<double>&)>&
+                        reduce);
+
+/// resample() with arithmetic-mean reduction.
+TimeSeries resample_mean(const TimeSeries& series, util::Timestamp origin,
+                         util::Timestamp interval);
+
+/// Summary statistics of the observations within [from, to).
+Summary summarize_range(const TimeSeries& series, util::Timestamp from,
+                        util::Timestamp to);
+
+/// Largest observation gap (consecutive time delta); 0 for size < 2.
+util::Timestamp max_gap(const TimeSeries& series);
+
+/// Rolling mean over a trailing window of `count` observations
+/// (count >= 1); shorter prefixes average what is available.
+TimeSeries rolling_mean(const TimeSeries& series, std::size_t count);
+
+}  // namespace ethshard::metrics

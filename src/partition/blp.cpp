@@ -1,0 +1,167 @@
+#include "partition/blp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+namespace {
+
+struct Candidate {
+  graph::Vertex v;
+  std::int64_t gain;
+  graph::Weight weight;  // balance weight of v (>= 1 so quotas make progress)
+};
+
+}  // namespace
+
+BlpStats BalancedLabelPropagation::refine(const graph::Graph& g,
+                                          Partition& p) {
+  ETHSHARD_CHECK(!g.directed());
+  ETHSHARD_CHECK(g.num_vertices() == p.size());
+  ETHSHARD_CHECK(p.is_complete());
+
+  const std::uint64_t n = g.num_vertices();
+  const std::uint32_t k = p.k();
+  util::Rng rng(cfg_.seed);
+
+  BlpStats stats;
+  stats.cut_before = edge_cut_weight(g, p);
+  stats.cut_after = stats.cut_before;
+  if (n == 0 || k <= 1) return stats;
+
+  // Balance weight: vertex activity, floored at 1 so inactive vertices
+  // still consume quota and the exchange terminates.
+  auto bal_weight = [&](graph::Vertex v) -> graph::Weight {
+    return std::max<graph::Weight>(g.vertex_weight(v), 1);
+  };
+
+  std::vector<graph::Weight> shard_weight(k, 0);
+  for (graph::Vertex v = 0; v < n; ++v)
+    shard_weight[p.shard_of(v)] += bal_weight(v);
+  const double target = 0.0 + static_cast<double>(std::accumulate(
+                                  shard_weight.begin(), shard_weight.end(),
+                                  graph::Weight{0})) /
+                                  static_cast<double>(k);
+
+  // Scratch for per-vertex shard connectivity (stamped lazy reset).
+  std::vector<graph::Weight> conn(k, 0);
+  std::vector<std::uint64_t> conn_stamp(k, 0);
+  std::uint64_t stamp = 0;
+
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    ++stats.rounds_run;
+
+    // Phase 1 (each shard, locally): pick move candidates with positive
+    // gain and their preferred destination.
+    std::vector<std::vector<Candidate>> want(
+        static_cast<std::size_t>(k) * k);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      const ShardId cur = p.shard_of(v);
+      ++stamp;
+      bool boundary = false;
+      for (const graph::Arc& a : g.neighbors(v)) {
+        const ShardId s = p.shard_of(a.to);
+        if (conn_stamp[s] != stamp) {
+          conn_stamp[s] = stamp;
+          conn[s] = 0;
+        }
+        conn[s] += a.weight;
+        if (s != cur) boundary = true;
+      }
+      if (!boundary) continue;
+      const graph::Weight conn_cur =
+          conn_stamp[cur] == stamp ? conn[cur] : 0;
+
+      ShardId best = cur;
+      std::int64_t best_gain = 0;
+      for (const graph::Arc& a : g.neighbors(v)) {
+        const ShardId t = p.shard_of(a.to);
+        if (t == cur) continue;
+        const std::int64_t gain = static_cast<std::int64_t>(conn[t]) -
+                                  static_cast<std::int64_t>(conn_cur);
+        if (gain > best_gain) {
+          best = t;
+          best_gain = gain;
+        }
+      }
+      if (best == cur) continue;
+      want[static_cast<std::size_t>(cur) * k + best].push_back(
+          Candidate{v, best_gain, bal_weight(v)});
+    }
+
+    // Phase 2 (oracle): per ordered pair (s,t), the movable weight is the
+    // pairwise-matched mass plus a rebalancing allowance toward
+    // underloaded shards.
+    std::vector<double> mass(static_cast<std::size_t>(k) * k, 0);
+    for (std::uint32_t s = 0; s < k; ++s)
+      for (std::uint32_t t = 0; t < k; ++t)
+        for (const Candidate& c :
+             want[static_cast<std::size_t>(s) * k + t])
+          mass[static_cast<std::size_t>(s) * k + t] +=
+              static_cast<double>(c.weight);
+
+    std::vector<double> quota(static_cast<std::size_t>(k) * k, 0);
+    for (std::uint32_t s = 0; s < k; ++s) {
+      for (std::uint32_t t = 0; t < k; ++t) {
+        if (s == t) continue;
+        const double m_st = mass[static_cast<std::size_t>(s) * k + t];
+        const double m_ts = mass[static_cast<std::size_t>(t) * k + s];
+        const double over_s = std::max(
+            0.0, static_cast<double>(shard_weight[s]) - target);
+        const double under_t = std::max(
+            0.0, target - static_cast<double>(shard_weight[t]));
+        quota[static_cast<std::size_t>(s) * k + t] =
+            std::min(m_st, m_ts) +
+            cfg_.rebalance * std::min(over_s, under_t);
+      }
+    }
+
+    // Phase 3 (each shard): exchange vertices within quota.
+    std::uint64_t moved_this_round = 0;
+    std::vector<std::pair<graph::Vertex, ShardId>> moves;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      for (std::uint32_t t = 0; t < k; ++t) {
+        if (s == t) continue;
+        auto& cands = want[static_cast<std::size_t>(s) * k + t];
+        if (cands.empty()) continue;
+        const double q = quota[static_cast<std::size_t>(s) * k + t];
+        if (q <= 0) continue;
+        if (cfg_.probabilistic) {
+          const double m = mass[static_cast<std::size_t>(s) * k + t];
+          const double prob = std::min(1.0, q / m);
+          for (const Candidate& c : cands)
+            if (rng.bernoulli(prob)) moves.emplace_back(c.v, t);
+        } else {
+          std::sort(cands.begin(), cands.end(),
+                    [](const Candidate& a, const Candidate& b) {
+                      return a.gain > b.gain;
+                    });
+          double used = 0;
+          for (const Candidate& c : cands) {
+            if (used + static_cast<double>(c.weight) > q) break;
+            used += static_cast<double>(c.weight);
+            moves.emplace_back(c.v, t);
+          }
+        }
+      }
+    }
+    for (auto [v, t] : moves) {
+      const ShardId cur = p.shard_of(v);
+      shard_weight[cur] -= bal_weight(v);
+      shard_weight[t] += bal_weight(v);
+      p.assign(v, t);
+      ++moved_this_round;
+    }
+    stats.moved += moved_this_round;
+    if (moved_this_round == 0) break;
+  }
+
+  stats.cut_after = edge_cut_weight(g, p);
+  return stats;
+}
+
+}  // namespace ethshard::partition

@@ -1,0 +1,46 @@
+// Multilevel coarsening via vertex matching and contraction.
+//
+// The first phase of the Karypis–Kumar multilevel scheme (the paper's
+// METIS, citation [11]): repeatedly match pairs of adjacent vertices and
+// contract them, producing a hierarchy of progressively smaller graphs
+// that preserve the cut structure (contracted edge weights accumulate, so
+// a cut in a coarse graph has exactly the same weight in the fine graph).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ethshard::partition {
+
+/// How matching partners are chosen.
+enum class MatchingScheme {
+  kHeavyEdge,  ///< prefer the heaviest incident edge (METIS's HEM)
+  kRandom,     ///< any unmatched neighbour (ablation baseline)
+};
+
+/// One level of the hierarchy: the contracted graph plus the projection
+/// map from the finer level's vertices to this level's vertices.
+struct CoarseLevel {
+  graph::Graph graph;
+  std::vector<graph::Vertex> fine_to_coarse;
+};
+
+/// Matches and contracts once. Unmatched vertices survive as singletons.
+/// Coarse vertex weights are sums of their constituents; parallel coarse
+/// edges merge with summed weights; intra-pair edges vanish.
+/// Precondition: g undirected.
+CoarseLevel coarsen_once(const graph::Graph& g, MatchingScheme scheme,
+                         util::Rng& rng);
+
+/// Builds the full hierarchy, stopping when the coarsest graph has at most
+/// `target_vertices` vertices or a round shrinks the graph by less than
+/// ~5% (matching has stalled, e.g. on a star graph).
+/// levels.front() is one step coarser than g; levels.back() is coarsest.
+std::vector<CoarseLevel> coarsen(const graph::Graph& g,
+                                 std::uint64_t target_vertices,
+                                 MatchingScheme scheme, util::Rng& rng);
+
+}  // namespace ethshard::partition

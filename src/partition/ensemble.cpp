@@ -1,0 +1,38 @@
+#include "partition/ensemble.hpp"
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+EnsemblePartitioner::EnsemblePartitioner(
+    std::function<std::unique_ptr<Partitioner>(std::uint64_t)> factory,
+    int tries, std::uint64_t base_seed)
+    : factory_(std::move(factory)), tries_(tries), base_seed_(base_seed) {
+  ETHSHARD_CHECK(tries_ >= 1);
+  ETHSHARD_CHECK(static_cast<bool>(factory_));
+}
+
+Partition EnsemblePartitioner::partition(const graph::Graph& input,
+                                         std::uint32_t k) {
+  const graph::Graph undirected_storage =
+      input.directed() ? input.to_undirected() : graph::Graph{};
+  const graph::Graph& g = input.directed() ? undirected_storage : input;
+
+  Partition best;
+  bool have = false;
+  for (int attempt = 0; attempt < tries_; ++attempt) {
+    const std::unique_ptr<Partitioner> inner =
+        factory_(base_seed_ + static_cast<std::uint64_t>(attempt));
+    ETHSHARD_CHECK(inner != nullptr);
+    Partition p = inner->partition(g, k);
+    const graph::Weight cut = edge_cut_weight(g, p);
+    if (!have || cut < last_best_cut_) {
+      best = std::move(p);
+      last_best_cut_ = cut;
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace ethshard::partition

@@ -1,0 +1,39 @@
+// Best-of-N ensemble partitioner.
+//
+// Randomized partitioners (multilevel, KL, spectral with random starts)
+// have run-to-run variance; the cheapest quality boost is to run several
+// seeds and keep the lowest cut among balanced results — how METIS users
+// invoke it in practice for publication numbers.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "partition/partitioner.hpp"
+
+namespace ethshard::partition {
+
+class EnsemblePartitioner final : public Partitioner {
+ public:
+  /// Builds a fresh inner partitioner for each attempt: `factory(seed)`
+  /// is called with seeds base_seed, base_seed+1, …, base_seed+tries−1.
+  /// Preconditions: tries >= 1, factory non-null.
+  EnsemblePartitioner(
+      std::function<std::unique_ptr<Partitioner>(std::uint64_t seed)>
+          factory,
+      int tries = 4, std::uint64_t base_seed = 1);
+
+  Partition partition(const graph::Graph& g, std::uint32_t k) override;
+  std::string name() const override { return "Ensemble"; }
+
+  /// Cut weight of the winning attempt from the last partition() call.
+  graph::Weight last_best_cut() const { return last_best_cut_; }
+
+ private:
+  std::function<std::unique_ptr<Partitioner>(std::uint64_t)> factory_;
+  int tries_;
+  std::uint64_t base_seed_;
+  graph::Weight last_best_cut_ = 0;
+};
+
+}  // namespace ethshard::partition

@@ -1,0 +1,202 @@
+#include "partition/fm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+namespace {
+
+struct PqEntry {
+  std::int64_t gain;
+  graph::Vertex v;
+  std::uint64_t stamp;
+
+  bool operator<(const PqEntry& o) const { return gain < o.gain; }
+};
+
+/// Excess weight above a side's cap (0 when feasible).
+inline std::uint64_t excess(std::uint64_t w, std::uint64_t cap) {
+  return w > cap ? w - cap : 0;
+}
+
+}  // namespace
+
+graph::Weight fm_refine_bisection(const graph::Graph& g, Partition& p,
+                                  double target_left_frac,
+                                  const FmConfig& cfg, util::Rng& rng) {
+  ETHSHARD_CHECK(!g.directed());
+  ETHSHARD_CHECK(p.k() == 2);
+  ETHSHARD_CHECK(g.num_vertices() == p.size());
+  ETHSHARD_CHECK(target_left_frac > 0.0 && target_left_frac < 1.0);
+
+  const std::uint64_t n = g.num_vertices();
+  if (n == 0) return 0;
+
+  std::vector<std::uint8_t> side(n);
+  std::uint64_t weight[2] = {0, 0};
+  std::uint64_t count[2] = {0, 0};
+  graph::Weight max_vwgt = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const ShardId s = p.shard_of(v);
+    ETHSHARD_CHECK_MSG(s == 0 || s == 1, "bisection refinement needs k=2");
+    side[v] = static_cast<std::uint8_t>(s);
+    weight[s] += g.vertex_weight(v);
+    ++count[s];
+    max_vwgt = std::max(max_vwgt, g.vertex_weight(v));
+  }
+  const double total = static_cast<double>(weight[0] + weight[1]);
+  // Caps never drop below the heaviest vertex, or a hub-dominated graph
+  // could not be refined at all.
+  const std::uint64_t cap[2] = {
+      std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(
+              std::ceil(target_left_frac * total * (1.0 + cfg.imbalance))),
+          max_vwgt),
+      std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(std::ceil(
+              (1.0 - target_left_frac) * total * (1.0 + cfg.imbalance))),
+          max_vwgt)};
+
+  std::vector<std::int64_t> gain(n);
+  std::vector<std::uint64_t> version(n);
+  std::vector<std::uint8_t> locked(n);
+  std::vector<graph::Vertex> move_log;
+  move_log.reserve(n);
+
+  auto compute_gain = [&](graph::Vertex v) {
+    std::int64_t ext = 0;
+    std::int64_t internal = 0;
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (side[a.to] == side[v])
+        internal += static_cast<std::int64_t>(a.weight);
+      else
+        ext += static_cast<std::int64_t>(a.weight);
+    }
+    return ext - internal;
+  };
+
+  auto infeasibility = [&] {
+    return excess(weight[0], cap[0]) + excess(weight[1], cap[1]);
+  };
+
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    std::fill(locked.begin(), locked.end(), std::uint8_t{0});
+    move_log.clear();
+
+    // One queue per side (classic FM): when one side's best move is
+    // blocked by the balance constraint, the other side's queue still
+    // serves moves, and the blocked entry is NOT consumed — it becomes
+    // feasible again as soon as the counter-move frees capacity.
+    std::priority_queue<PqEntry> pq[2];
+    // Randomized insertion order breaks gain ties differently per pass.
+    std::vector<graph::Vertex> order(n);
+    for (graph::Vertex v = 0; v < n; ++v) order[v] = v;
+    rng.shuffle(order);
+    for (graph::Vertex v : order) {
+      gain[v] = compute_gain(v);
+      ++version[v];
+      pq[side[v]].push(PqEntry{gain[v], v, version[v]});
+    }
+
+    std::int64_t cum_gain = 0;
+    // Best prefix: lexicographically lowest (infeasibility, -cum_gain).
+    std::uint64_t best_infeas = infeasibility();
+    std::int64_t best_gain = 0;
+    std::size_t best_len = 0;
+
+    while (true) {
+      // Valid top of each side's queue (lazy deletion of stale entries).
+      PqEntry tops[2] = {};
+      bool have[2] = {false, false};
+      for (int s = 0; s < 2; ++s) {
+        while (!pq[s].empty()) {
+          const PqEntry e = pq[s].top();
+          if (e.stamp != version[e.v] || locked[e.v] || side[e.v] != s) {
+            pq[s].pop();
+            continue;
+          }
+          tops[s] = e;
+          have[s] = true;
+          break;
+        }
+      }
+      if (!have[0] && !have[1]) break;
+
+      // Pick the higher-gain feasible move.
+      const std::uint64_t before = infeasibility();
+      int chosen = -1;
+      for (int s = 0; s < 2; ++s) {
+        if (!have[s]) continue;
+        const graph::Weight w = g.vertex_weight(tops[s].v);
+        if (count[s] <= 1) continue;  // never empty a side
+        const std::uint64_t after =
+            excess(weight[s] - w, cap[s]) +
+            excess(weight[1 - s] + w, cap[1 - s]);
+        if (after > before) continue;
+        if (chosen < 0 || tops[s].gain > tops[chosen].gain) chosen = s;
+      }
+      if (chosen < 0) break;  // both sides blocked: pass is over
+
+      pq[chosen].pop();
+      const graph::Vertex v = tops[chosen].v;
+      const std::uint8_t s = static_cast<std::uint8_t>(chosen);
+      const std::uint8_t t = 1 - s;
+      const graph::Weight w = g.vertex_weight(v);
+
+      // Apply the move.
+      side[v] = t;
+      weight[s] -= w;
+      weight[t] += w;
+      --count[s];
+      ++count[t];
+      locked[v] = 1;
+      cum_gain += gain[v];
+      move_log.push_back(v);
+
+      for (const graph::Arc& a : g.neighbors(v)) {
+        const graph::Vertex u = a.to;
+        if (locked[u]) continue;
+        // v left u's side: u's edge to v flipped internal<->external.
+        if (side[u] == s)
+          gain[u] += 2 * static_cast<std::int64_t>(a.weight);
+        else
+          gain[u] -= 2 * static_cast<std::int64_t>(a.weight);
+        ++version[u];
+        pq[side[u]].push(PqEntry{gain[u], u, version[u]});
+      }
+      gain[v] = -gain[v];
+
+      const std::uint64_t inf_now = infeasibility();
+      if (inf_now < best_infeas ||
+          (inf_now == best_infeas && cum_gain > best_gain)) {
+        best_infeas = inf_now;
+        best_gain = cum_gain;
+        best_len = move_log.size();
+      }
+    }
+
+    // Roll back to the best prefix.
+    for (std::size_t i = move_log.size(); i > best_len; --i) {
+      const graph::Vertex v = move_log[i - 1];
+      const std::uint8_t t = side[v];
+      const std::uint8_t s = 1 - t;
+      side[v] = s;
+      weight[t] -= g.vertex_weight(v);
+      weight[s] += g.vertex_weight(v);
+      --count[t];
+      ++count[s];
+    }
+
+    if (best_len == 0) break;  // pass achieved nothing
+  }
+
+  for (graph::Vertex v = 0; v < n; ++v) p.assign(v, side[v]);
+  return edge_cut_weight(g, p);
+}
+
+}  // namespace ethshard::partition

@@ -1,0 +1,43 @@
+// Fiduccia–Mattheyses-style 2-way refinement.
+//
+// This is the move-based local refinement engine underlying both the
+// Kernighan–Lin partitioner and the multilevel partitioner (initial
+// bisection polish + uncoarsening refinement). Vertices move one at a
+// time between the two sides in best-gain order under a balance
+// constraint; each pass keeps the best prefix of its move sequence
+// (allowing escapes from shallow local minima, the classic KL/FM idea).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "partition/types.hpp"
+#include "util/rng.hpp"
+
+namespace ethshard::partition {
+
+/// Tuning knobs for 2-way FM refinement.
+struct FmConfig {
+  /// Allowed relative overweight of either side: side weight may reach
+  /// target · total · (1 + imbalance). METIS's default tolerance is 3%.
+  double imbalance = 0.03;
+  /// Maximum refinement passes; a pass that improves nothing stops early.
+  int max_passes = 8;
+};
+
+/// Refines a complete 2-way partition of `g` in place.
+///
+/// `target_left_frac` is the desired fraction of total vertex weight on
+/// shard 0 (0.5 for a plain bisection; other values arise in recursive
+/// bisection for non-power-of-two k).
+///
+/// A side's weight cap is never below the heaviest single vertex, so a
+/// graph with one dominant vertex remains refinable.
+///
+/// Preconditions: g undirected; p.k() == 2; p complete.
+/// Returns the resulting edge-cut weight.
+graph::Weight fm_refine_bisection(const graph::Graph& g, Partition& p,
+                                  double target_left_frac,
+                                  const FmConfig& cfg, util::Rng& rng);
+
+}  // namespace ethshard::partition

@@ -1,0 +1,20 @@
+#include "partition/hash_partitioner.hpp"
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace ethshard::partition {
+
+ShardId HashPartitioner::shard_of(graph::Vertex id, std::uint32_t k) const {
+  ETHSHARD_CHECK(k >= 1);
+  return static_cast<ShardId>(util::mix64(id ^ salt_) % k);
+}
+
+Partition HashPartitioner::partition(const graph::Graph& g, std::uint32_t k) {
+  Partition p(g.num_vertices(), k);
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    p.assign(v, shard_of(v, k));
+  return p;
+}
+
+}  // namespace ethshard::partition

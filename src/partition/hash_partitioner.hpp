@@ -1,0 +1,33 @@
+// Hashing — the paper's baseline: shard(v) = hash(id(v)) mod k.
+//
+// "A straightforward way to partition the graph is to hash the vertex
+// unique identifier and use the result (modulo the total number of shards
+// k) to determine the shard the vertex belongs to." (§II-C)
+//
+// Because the shard depends on the id alone, repartitioning never moves a
+// vertex, static balance is near-perfect, and edge-cut approaches
+// (k-1)/k for unrelated endpoints.
+#pragma once
+
+#include "partition/partitioner.hpp"
+
+namespace ethshard::partition {
+
+class HashPartitioner final : public Partitioner {
+ public:
+  /// `salt` perturbs the hash so that independent repetitions of an
+  /// experiment get independent assignments.
+  explicit HashPartitioner(std::uint64_t salt = 0) : salt_(salt) {}
+
+  Partition partition(const graph::Graph& g, std::uint32_t k) override;
+  std::string name() const override { return "Hashing"; }
+
+  /// The shard of a single vertex id — usable without a graph (the
+  /// assignment is id-local). Precondition: k >= 1.
+  ShardId shard_of(graph::Vertex id, std::uint32_t k) const;
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace ethshard::partition

@@ -1,0 +1,109 @@
+#include "partition/initial_bisection.hpp"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+Partition greedy_grow_bisection(const graph::Graph& g,
+                                double target_left_frac, util::Rng& rng) {
+  ETHSHARD_CHECK(!g.directed());
+  const std::uint64_t n = g.num_vertices();
+  ETHSHARD_CHECK(n >= 1);
+  ETHSHARD_CHECK(target_left_frac > 0.0 && target_left_frac < 1.0);
+
+  // Everything starts on side 1; we grow side 0. A graph with all-zero
+  // vertex weights is grown by vertex count instead.
+  Partition p(n, 2, /*init=*/1);
+  const bool unit_weights = g.total_vertex_weight() == 0;
+  auto vertex_weight = [&](graph::Vertex v) -> graph::Weight {
+    return unit_weights ? 1 : g.vertex_weight(v);
+  };
+  const double target_weight =
+      target_left_frac *
+      static_cast<double>(unit_weights ? n : g.total_vertex_weight());
+
+  struct Entry {
+    std::int64_t gain;
+    graph::Vertex v;
+    std::uint64_t stamp;
+    bool operator<(const Entry& o) const { return gain < o.gain; }
+  };
+
+  std::vector<std::int64_t> gain(n, 0);
+  std::vector<std::uint64_t> version(n, 0);
+  std::vector<std::uint8_t> in_region(n, 0);
+  std::vector<std::uint8_t> in_frontier(n, 0);
+  std::priority_queue<Entry> pq;
+
+  std::uint64_t grown_weight = 0;
+  std::uint64_t grown_count = 0;
+
+  auto add_to_region = [&](graph::Vertex v) {
+    in_region[v] = 1;
+    p.assign(v, 0);
+    grown_weight += vertex_weight(v);
+    ++grown_count;
+    for (const graph::Arc& a : g.neighbors(v)) {
+      const graph::Vertex u = a.to;
+      if (in_region[u]) continue;
+      // Invariant: gain(u) = region_edges(u) - outside_edges(u)
+      //                    = 2 · region_edges(u) - weighted_degree(u).
+      if (!in_frontier[u]) {
+        gain[u] = -static_cast<std::int64_t>(g.weighted_degree(u));
+        in_frontier[u] = 1;
+      }
+      // Absorbing v moved edge (u,v) from outside to region.
+      gain[u] += 2 * static_cast<std::int64_t>(a.weight);
+      ++version[u];
+      pq.push(Entry{gain[u], u, version[u]});
+    }
+  };
+
+  // Grow until the target weight is reached, but always leave at least one
+  // vertex on side 1.
+  while (static_cast<double>(grown_weight) < target_weight &&
+         grown_count + 1 < n) {
+    graph::Vertex pick = graph::Graph::kInvalid;
+    while (!pq.empty()) {
+      const Entry e = pq.top();
+      pq.pop();
+      if (e.stamp == version[e.v] && !in_region[e.v]) {
+        pick = e.v;
+        break;
+      }
+    }
+    if (pick == graph::Graph::kInvalid) {
+      // Disconnected remainder: restart from a random unvisited vertex.
+      graph::Vertex v = static_cast<graph::Vertex>(rng.uniform(n));
+      while (in_region[v]) v = (v + 1) % n;
+      pick = v;
+    }
+    add_to_region(pick);
+  }
+  return p;
+}
+
+Partition initial_bisection(const graph::Graph& g, double target_left_frac,
+                            const FmConfig& fm, int tries, util::Rng& rng) {
+  ETHSHARD_CHECK(tries >= 1);
+  Partition best;
+  graph::Weight best_cut = 0;
+  bool have_best = false;
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    Partition p = greedy_grow_bisection(g, target_left_frac, rng);
+    const graph::Weight cut = fm_refine_bisection(g, p, target_left_frac,
+                                                  fm, rng);
+    if (!have_best || cut < best_cut) {
+      best = std::move(p);
+      best_cut = cut;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace ethshard::partition

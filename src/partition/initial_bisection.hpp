@@ -1,0 +1,27 @@
+// Initial bisection of the coarsest graph.
+//
+// Greedy graph growing (METIS's GGGP): grow one side from a random seed
+// vertex, always absorbing the frontier vertex with the highest gain,
+// until the side reaches its target weight; polish with FM. Several
+// independent attempts are made and the best (feasible, then lowest-cut)
+// result wins.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "partition/fm.hpp"
+#include "partition/types.hpp"
+#include "util/rng.hpp"
+
+namespace ethshard::partition {
+
+/// One greedy-growing attempt (no FM polish); exposed for testing.
+/// Preconditions: g undirected, non-empty; 0 < target_left_frac < 1.
+Partition greedy_grow_bisection(const graph::Graph& g,
+                                double target_left_frac, util::Rng& rng);
+
+/// Best-of-`tries` greedy growing, each polished with FM refinement.
+/// Returns a complete 2-way partition.
+Partition initial_bisection(const graph::Graph& g, double target_left_frac,
+                            const FmConfig& fm, int tries, util::Rng& rng);
+
+}  // namespace ethshard::partition

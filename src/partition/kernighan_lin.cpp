@@ -1,0 +1,72 @@
+#include "partition/kernighan_lin.hpp"
+
+#include "partition/recursive_bisection.hpp"
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+Partition random_balanced_bisection(const graph::Graph& g,
+                                    double target_left_frac, util::Rng& rng) {
+  ETHSHARD_CHECK(target_left_frac > 0.0 && target_left_frac < 1.0);
+  const std::uint64_t n = g.num_vertices();
+  Partition p(n, 2, /*init=*/1);
+  if (n == 0) return p;
+
+  const bool unit_weights = g.total_vertex_weight() == 0;
+  const double total =
+      static_cast<double>(unit_weights ? n : g.total_vertex_weight());
+  const double target = target_left_frac * total;
+
+  std::vector<graph::Vertex> order(n);
+  for (graph::Vertex v = 0; v < n; ++v) order[v] = v;
+  rng.shuffle(order);
+
+  double acc = 0;
+  std::uint64_t taken = 0;
+  for (graph::Vertex v : order) {
+    if (acc >= target || taken + 1 >= n) break;
+    p.assign(v, 0);
+    acc += static_cast<double>(unit_weights ? 1 : g.vertex_weight(v));
+    ++taken;
+  }
+  return p;
+}
+
+Partition KernighanLinPartitioner::partition(const graph::Graph& input,
+                                             std::uint32_t k) {
+  ETHSHARD_CHECK(k >= 1);
+  const graph::Graph undirected_storage =
+      input.directed() ? input.to_undirected() : graph::Graph{};
+  const graph::Graph& g = input.directed() ? undirected_storage : input;
+
+  const std::uint64_t n = g.num_vertices();
+  if (k == 1 || n == 0) return Partition(n, k, 0);
+  if (n <= k) {
+    Partition p(n, k);
+    for (graph::Vertex v = 0; v < n; ++v)
+      p.assign(v, static_cast<ShardId>(v % k));
+    return p;
+  }
+
+  util::Rng rng(cfg_.seed);
+  const FmConfig fm{cfg_.imbalance, cfg_.max_passes};
+  auto bisect = [this, &fm](const graph::Graph& sub, double frac,
+                            util::Rng& r) {
+    Partition best;
+    graph::Weight best_cut = 0;
+    bool have = false;
+    for (int t = 0; t < cfg_.tries; ++t) {
+      Partition p = random_balanced_bisection(sub, frac, r);
+      const graph::Weight cut = fm_refine_bisection(sub, p, frac, fm, r);
+      if (!have || cut < best_cut) {
+        best = std::move(p);
+        best_cut = cut;
+        have = true;
+      }
+    }
+    return best;
+  };
+  return recursive_bisection(g, k, bisect, rng);
+}
+
+}  // namespace ethshard::partition

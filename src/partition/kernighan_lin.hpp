@@ -1,0 +1,44 @@
+// Classic Kernighan–Lin partitioner [9].
+//
+// Bisection: random balanced initial assignment improved by KL/FM passes;
+// k-way by recursive bisection. This is the textbook algorithm; the
+// paper's *online* "KL" sharding strategy (distributed, with the
+// probability-matrix oracle, after Facebook's balanced label propagation
+// [10]) is in blp.hpp and uses the same move-gain machinery.
+#pragma once
+
+#include "partition/fm.hpp"
+#include "partition/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace ethshard::partition {
+
+struct KlConfig {
+  /// Allowed relative side overweight.
+  double imbalance = 0.03;
+  /// KL/FM improvement passes per bisection.
+  int max_passes = 8;
+  /// Independent random restarts per bisection; best cut wins.
+  int tries = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Random balanced 2-way split: vertices are shuffled and greedily packed
+/// toward the target split by weight. Exposed for tests.
+Partition random_balanced_bisection(const graph::Graph& g,
+                                    double target_left_frac, util::Rng& rng);
+
+class KernighanLinPartitioner final : public Partitioner {
+ public:
+  explicit KernighanLinPartitioner(KlConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Accepts directed graphs (symmetrized internally) or undirected ones.
+  Partition partition(const graph::Graph& g, std::uint32_t k) override;
+
+  std::string name() const override { return "KL"; }
+
+ private:
+  KlConfig cfg_;
+};
+
+}  // namespace ethshard::partition

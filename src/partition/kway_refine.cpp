@@ -1,0 +1,98 @@
+#include "partition/kway_refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+graph::Weight kway_refine(const graph::Graph& g, Partition& p,
+                          const KwayRefineConfig& cfg, util::Rng& rng) {
+  ETHSHARD_CHECK(!g.directed());
+  ETHSHARD_CHECK(g.num_vertices() == p.size());
+  const std::uint64_t n = g.num_vertices();
+  const std::uint32_t k = p.k();
+  if (n == 0 || k <= 1) return edge_cut_weight(g, p);
+
+  std::vector<graph::Weight> weight = p.shard_weights(g);
+  std::vector<std::uint64_t> count = p.shard_sizes();
+
+  graph::Weight max_vwgt = 0;
+  for (graph::Vertex v = 0; v < n; ++v)
+    max_vwgt = std::max(max_vwgt, g.vertex_weight(v));
+  const std::uint64_t cap = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(static_cast<double>(g.total_vertex_weight()) /
+                    static_cast<double>(k) * (1.0 + cfg.imbalance))),
+      max_vwgt);
+
+  std::vector<graph::Vertex> order(n);
+  for (graph::Vertex v = 0; v < n; ++v) order[v] = v;
+
+  // Scratch: connectivity of the current vertex to each shard. Reset lazily
+  // with a version stamp to avoid an O(k) clear per vertex.
+  std::vector<graph::Weight> conn(k, 0);
+  std::vector<std::uint64_t> conn_stamp(k, 0);
+  std::uint64_t stamp = 0;
+
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    rng.shuffle(order);
+    std::uint64_t moved = 0;
+
+    for (graph::Vertex v : order) {
+      const ShardId cur = p.shard_of(v);
+      const graph::Weight wv = g.vertex_weight(v);
+      if (count[cur] <= 1) continue;  // never empty a shard
+
+      ++stamp;
+      bool boundary = false;
+      for (const graph::Arc& a : g.neighbors(v)) {
+        const ShardId s = p.shard_of(a.to);
+        if (conn_stamp[s] != stamp) {
+          conn_stamp[s] = stamp;
+          conn[s] = 0;
+        }
+        conn[s] += a.weight;
+        if (s != cur) boundary = true;
+      }
+      if (!boundary) continue;
+
+      const graph::Weight conn_cur =
+          conn_stamp[cur] == stamp ? conn[cur] : 0;
+
+      ShardId best = cur;
+      std::int64_t best_gain = 0;
+      std::uint64_t best_weight = weight[cur];
+      for (const graph::Arc& a : g.neighbors(v)) {
+        const ShardId t = p.shard_of(a.to);
+        if (t == cur) continue;
+        if (weight[t] + wv > cap) continue;
+        const std::int64_t gain = static_cast<std::int64_t>(conn[t]) -
+                                  static_cast<std::int64_t>(conn_cur);
+        const bool better =
+            gain > best_gain ||
+            (cfg.balance_moves && gain == best_gain &&
+             weight[t] + wv < best_weight && weight[t] + wv < weight[cur]);
+        if (better) {
+          best = t;
+          best_gain = gain;
+          best_weight = weight[t] + wv;
+        }
+      }
+      if (best == cur) continue;
+
+      p.assign(v, best);
+      weight[cur] -= wv;
+      weight[best] += wv;
+      --count[cur];
+      ++count[best];
+      ++moved;
+    }
+    if (moved == 0) break;
+  }
+  return edge_cut_weight(g, p);
+}
+
+}  // namespace ethshard::partition

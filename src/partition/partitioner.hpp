@@ -1,0 +1,27 @@
+// Abstract interface implemented by every partitioning method.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "partition/types.hpp"
+
+namespace ethshard::partition {
+
+/// A graph partitioner: maps an (undirected, weighted) graph to a complete
+/// assignment of its vertices to k shards.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Computes a complete k-way partition of g.
+  /// Preconditions: k >= 1; g is the symmetrized blockchain graph (or any
+  /// undirected weighted graph).
+  virtual Partition partition(const graph::Graph& g, std::uint32_t k) = 0;
+
+  /// Human-readable method name (used in reports and figures).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ethshard::partition

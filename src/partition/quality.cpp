@@ -1,0 +1,86 @@
+#include "partition/quality.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+QualityReport evaluate_partition(const graph::Graph& g, const Partition& p) {
+  ETHSHARD_CHECK(!g.directed());
+  ETHSHARD_CHECK(g.num_vertices() == p.size());
+  ETHSHARD_CHECK(p.is_complete());
+
+  QualityReport r;
+  r.k = p.k();
+  r.vertices = g.num_vertices();
+  r.edges = g.num_edges();
+  r.shard_sizes = p.shard_sizes();
+  r.shard_weights = p.shard_weights(g);
+
+  std::vector<ShardId> adjacent;  // distinct remote shards of one vertex
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    const ShardId sv = p.shard_of(v);
+    adjacent.clear();
+    for (const graph::Arc& a : g.neighbors(v)) {
+      const ShardId su = p.shard_of(a.to);
+      if (su != sv) {
+        adjacent.push_back(su);
+        if (v < a.to) {  // each undirected edge once
+          ++r.cut_edges;
+          r.cut_weight += a.weight;
+        }
+      }
+    }
+    if (!adjacent.empty()) {
+      ++r.boundary_vertices;
+      std::sort(adjacent.begin(), adjacent.end());
+      r.communication_volume += static_cast<std::uint64_t>(
+          std::unique(adjacent.begin(), adjacent.end()) - adjacent.begin());
+    }
+  }
+
+  if (r.edges > 0) {
+    r.edge_cut_fraction = static_cast<double>(r.cut_edges) /
+                          static_cast<double>(r.edges);
+    r.weighted_cut_fraction =
+        static_cast<double>(r.cut_weight) /
+        static_cast<double>(g.total_edge_weight());
+  }
+
+  std::uint64_t max_size = 0;
+  graph::Weight max_weight = 0;
+  graph::Weight total_weight = 0;
+  for (std::uint32_t s = 0; s < r.k; ++s) {
+    max_size = std::max(max_size, r.shard_sizes[s]);
+    max_weight = std::max(max_weight, r.shard_weights[s]);
+    total_weight += r.shard_weights[s];
+  }
+  if (r.vertices > 0)
+    r.balance = static_cast<double>(max_size) * r.k /
+                static_cast<double>(r.vertices);
+  if (total_weight > 0)
+    r.weighted_balance = static_cast<double>(max_weight) * r.k /
+                         static_cast<double>(total_weight);
+  return r;
+}
+
+std::string to_string(const QualityReport& r) {
+  std::ostringstream os;
+  os << "partition: k=" << r.k << " n=" << r.vertices << " m=" << r.edges
+     << "\n";
+  os << "  edge-cut: " << r.cut_edges << " edges (" << r.edge_cut_fraction
+     << "), weight " << r.cut_weight << " (" << r.weighted_cut_fraction
+     << ")\n";
+  os << "  balance: " << r.balance << " (weighted " << r.weighted_balance
+     << ")\n";
+  os << "  boundary vertices: " << r.boundary_vertices
+     << ", communication volume: " << r.communication_volume << "\n";
+  os << "  shard sizes:";
+  for (std::uint64_t s : r.shard_sizes) os << ' ' << s;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace ethshard::partition

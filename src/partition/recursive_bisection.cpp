@@ -1,0 +1,17 @@
+#include "partition/recursive_bisection.hpp"
+
+#include "partition/initial_bisection.hpp"
+
+namespace ethshard::partition {
+
+Partition recursive_bisection_ggg(const graph::Graph& g, std::uint32_t k,
+                                  const FmConfig& fm, int tries,
+                                  util::Rng& rng) {
+  auto bisect = [&fm, tries](const graph::Graph& sub, double frac,
+                             util::Rng& r) {
+    return initial_bisection(sub, frac, fm, tries, r);
+  };
+  return recursive_bisection(g, k, bisect, rng);
+}
+
+}  // namespace ethshard::partition

@@ -1,0 +1,64 @@
+// Recursive bisection: k-way partitioning by repeated 2-way splits.
+//
+// Used to compute the initial k-way partition of the coarsest graph in
+// the multilevel scheme, and standalone by the Kernighan–Lin partitioner.
+// Non-power-of-two k is handled with proportional weight targets
+// (splitting k into ⌈k/2⌉ and ⌊k/2⌋).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "partition/fm.hpp"
+#include "partition/types.hpp"
+#include "util/rng.hpp"
+
+namespace ethshard::partition {
+
+/// Computes a complete k-way partition of `g` by recursive bisection,
+/// each split made with `bisect` — a callable
+/// Partition(const graph::Graph&, double target_left_frac, util::Rng&)
+/// returning a complete 2-way partition.
+template <typename Bisector>
+Partition recursive_bisection(const graph::Graph& g, std::uint32_t k,
+                              Bisector&& bisect, util::Rng& rng) {
+  Partition result(g.num_vertices(), k, /*init=*/0);
+  if (k <= 1 || g.num_vertices() == 0) return result;
+
+  const std::uint32_t k_left = (k + 1) / 2;
+  const std::uint32_t k_right = k - k_left;
+  const double frac = static_cast<double>(k_left) / static_cast<double>(k);
+
+  const Partition split = bisect(g, frac, rng);
+
+  std::vector<graph::Vertex> left;
+  std::vector<graph::Vertex> right;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    (split.shard_of(v) == 0 ? left : right).push_back(v);
+
+  if (k_left > 1 && !left.empty()) {
+    const graph::Graph sub = g.induced_subgraph(left);
+    const Partition sp =
+        recursive_bisection(sub, k_left, bisect, rng);
+    for (std::size_t i = 0; i < left.size(); ++i)
+      result.assign(left[i], sp.shard_of(i));
+  } else {
+    for (graph::Vertex v : left) result.assign(v, 0);
+  }
+
+  if (k_right > 1 && !right.empty()) {
+    const graph::Graph sub = g.induced_subgraph(right);
+    const Partition sp =
+        recursive_bisection(sub, k_right, bisect, rng);
+    for (std::size_t i = 0; i < right.size(); ++i)
+      result.assign(right[i], k_left + sp.shard_of(i));
+  } else {
+    for (graph::Vertex v : right) result.assign(v, k_left);
+  }
+  return result;
+}
+
+/// Recursive bisection using greedy-graph-growing + FM at every split.
+Partition recursive_bisection_ggg(const graph::Graph& g, std::uint32_t k,
+                                  const FmConfig& fm, int tries,
+                                  util::Rng& rng);
+
+}  // namespace ethshard::partition

@@ -1,0 +1,125 @@
+#include "partition/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "partition/recursive_bisection.hpp"
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+namespace {
+
+/// Removes the component along the all-ones direction and normalizes.
+void orthonormalize(std::vector<double>& x) {
+  const double n = static_cast<double>(x.size());
+  const double mean =
+      std::accumulate(x.begin(), x.end(), 0.0) / std::max(n, 1.0);
+  double norm = 0;
+  for (double& v : x) {
+    v -= mean;
+    norm += v * v;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0)
+    for (double& v : x) v /= norm;
+}
+
+}  // namespace
+
+std::vector<double> fiedler_vector(const graph::Graph& g,
+                                   const SpectralConfig& cfg) {
+  ETHSHARD_CHECK(!g.directed());
+  const std::uint64_t n = g.num_vertices();
+  ETHSHARD_CHECK(n >= 2);
+
+  // Shift: M = cI - L has the Fiedler direction as its dominant
+  // eigenvector within the subspace orthogonal to 1. c bounds L's
+  // spectrum: c = 2 · max weighted degree.
+  double shift = 0;
+  for (graph::Vertex v = 0; v < n; ++v)
+    shift = std::max(shift, static_cast<double>(g.weighted_degree(v)));
+  shift = 2.0 * std::max(shift, 1.0);
+
+  util::Rng rng(cfg.seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform01() - 0.5;
+  orthonormalize(x);
+
+  std::vector<double> next(n);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // next = (shift·I − L)·x = shift·x − D·x + W·x
+    for (graph::Vertex v = 0; v < n; ++v) {
+      double acc =
+          (shift - static_cast<double>(g.weighted_degree(v))) * x[v];
+      for (const graph::Arc& a : g.neighbors(v))
+        acc += static_cast<double>(a.weight) * x[a.to];
+      next[v] = acc;
+    }
+    orthonormalize(next);
+    double delta = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double d = next[i] - x[i];
+      delta += d * d;
+    }
+    x.swap(next);
+    if (std::sqrt(delta) < cfg.tolerance) break;
+  }
+  return x;
+}
+
+Partition SpectralPartitioner::partition(const graph::Graph& input,
+                                         std::uint32_t k) {
+  ETHSHARD_CHECK(k >= 1);
+  const graph::Graph undirected_storage =
+      input.directed() ? input.to_undirected() : graph::Graph{};
+  const graph::Graph& g = input.directed() ? undirected_storage : input;
+
+  const std::uint64_t n = g.num_vertices();
+  if (k == 1 || n == 0) return Partition(n, k, 0);
+  if (n <= k) {
+    Partition p(n, k);
+    for (graph::Vertex v = 0; v < n; ++v)
+      p.assign(v, static_cast<ShardId>(v % k));
+    return p;
+  }
+
+  util::Rng rng(cfg_.seed);
+  const FmConfig fm{cfg_.imbalance, 8};
+  auto bisect = [this, &fm](const graph::Graph& sub, double frac,
+                            util::Rng& r) {
+    const std::uint64_t sn = sub.num_vertices();
+    Partition p(sn, 2, 1);
+    if (sn >= 2) {
+      SpectralConfig cfg = cfg_;
+      cfg.seed = r.next();
+      const std::vector<double> fiedler = fiedler_vector(sub, cfg);
+
+      // Sort by Fiedler value; take the smallest prefix reaching the
+      // target weight fraction.
+      std::vector<graph::Vertex> order(sn);
+      std::iota(order.begin(), order.end(), graph::Vertex{0});
+      std::sort(order.begin(), order.end(),
+                [&](graph::Vertex a, graph::Vertex b) {
+                  return fiedler[a] < fiedler[b];
+                });
+      const bool unit = sub.total_vertex_weight() == 0;
+      const double total = static_cast<double>(
+          unit ? sn : sub.total_vertex_weight());
+      double acc = 0;
+      std::uint64_t taken = 0;
+      for (graph::Vertex v : order) {
+        if (acc >= frac * total || taken + 1 >= sn) break;
+        p.assign(v, 0);
+        acc += static_cast<double>(unit ? 1 : sub.vertex_weight(v));
+        ++taken;
+      }
+    }
+    if (cfg_.fm_polish) fm_refine_bisection(sub, p, frac, fm, r);
+    return p;
+  };
+  return recursive_bisection(g, k, bisect, rng);
+}
+
+}  // namespace ethshard::partition

@@ -1,0 +1,50 @@
+// Spectral bisection.
+//
+// The classical eigenvector method: split along the median of the Fiedler
+// vector (the eigenvector of the graph Laplacian's second-smallest
+// eigenvalue), computed with shifted power iteration and deflation
+// against the constant vector. Completes the library's baseline spectrum
+// — stateless (hashing) / streaming (LDG, Fennel) / local-search (KL) /
+// multilevel (MLKP) / spectral — for the microbenchmark comparisons.
+#pragma once
+
+#include <vector>
+
+#include "partition/fm.hpp"
+#include "partition/partitioner.hpp"
+#include "util/rng.hpp"
+
+namespace ethshard::partition {
+
+struct SpectralConfig {
+  /// Power-iteration steps for the Fiedler vector.
+  int iterations = 300;
+  /// Early-exit when the iterate moves less than this (L2, normalized).
+  double tolerance = 1e-9;
+  /// Polish the spectral split with FM (recommended: the median split
+  /// ignores edge weights near the cut line).
+  bool fm_polish = true;
+  double imbalance = 0.03;
+  std::uint64_t seed = 1;
+};
+
+/// Approximate Fiedler vector of the (weighted) Laplacian of g.
+/// Precondition: g undirected, num_vertices() >= 2. Exposed for tests.
+std::vector<double> fiedler_vector(const graph::Graph& g,
+                                   const SpectralConfig& cfg);
+
+class SpectralPartitioner final : public Partitioner {
+ public:
+  explicit SpectralPartitioner(SpectralConfig cfg = {}) : cfg_(cfg) {}
+
+  /// k-way by recursive spectral bisection; accepts directed input
+  /// (symmetrized internally).
+  Partition partition(const graph::Graph& g, std::uint32_t k) override;
+
+  std::string name() const override { return "Spectral"; }
+
+ private:
+  SpectralConfig cfg_;
+};
+
+}  // namespace ethshard::partition

@@ -1,0 +1,100 @@
+#include "partition/streaming.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+namespace {
+
+/// Shared single-pass driver: `score(neighbour_weight, shard_size)` ranks
+/// candidate shards; shards at `capacity` are skipped (unless all are,
+/// in which case the least-loaded wins).
+template <typename Score>
+Partition stream_partition(const graph::Graph& input, std::uint32_t k,
+                           double balance_slack, Score&& score) {
+  ETHSHARD_CHECK(k >= 1);
+  const graph::Graph undirected_storage =
+      input.directed() ? input.to_undirected() : graph::Graph{};
+  const graph::Graph& g = input.directed() ? undirected_storage : input;
+
+  const std::uint64_t n = g.num_vertices();
+  Partition p(n, k);
+  if (n == 0) return p;
+  if (k == 1) {
+    for (graph::Vertex v = 0; v < n; ++v) p.assign(v, 0);
+    return p;
+  }
+
+  const double capacity = std::max(
+      1.0, balance_slack * static_cast<double>(n) / static_cast<double>(k));
+  std::vector<std::uint64_t> size(k, 0);
+  std::vector<graph::Weight> conn(k, 0);
+
+  for (graph::Vertex v = 0; v < n; ++v) {
+    std::fill(conn.begin(), conn.end(), 0);
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (a.to >= v) continue;  // stream order: only earlier vertices
+      const ShardId s = p.shard_of(a.to);
+      if (s != kUnassigned) conn[s] += a.weight;
+    }
+
+    ShardId best = kUnassigned;
+    double best_score = 0;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      if (static_cast<double>(size[s]) >= capacity) continue;
+      const double sc = score(conn[s], size[s]);
+      if (best == kUnassigned || sc > best_score) {
+        best = s;
+        best_score = sc;
+      }
+    }
+    if (best == kUnassigned) {
+      // All shards at capacity (can happen with tiny n·slack): least-loaded.
+      best = 0;
+      for (std::uint32_t s = 1; s < k; ++s)
+        if (size[s] < size[best]) best = s;
+    }
+    p.assign(v, best);
+    ++size[best];
+  }
+  return p;
+}
+
+}  // namespace
+
+Partition LdgPartitioner::partition(const graph::Graph& g, std::uint32_t k) {
+  const double capacity =
+      std::max(1.0, cfg_.balance_slack *
+                        static_cast<double>(g.num_vertices()) /
+                        std::max(1u, k));
+  return stream_partition(
+      g, k, cfg_.balance_slack,
+      [capacity](graph::Weight conn, std::uint64_t size) {
+        return static_cast<double>(conn) *
+               (1.0 - static_cast<double>(size) / capacity);
+      });
+}
+
+Partition FennelPartitioner::partition(const graph::Graph& g,
+                                       std::uint32_t k) {
+  const double n = std::max<double>(1.0, static_cast<double>(g.num_vertices()));
+  const double m = static_cast<double>(g.num_edges());
+  const double alpha =
+      cfg_.alpha > 0
+          ? cfg_.alpha
+          : std::sqrt(static_cast<double>(k)) * m / std::pow(n, 1.5);
+  const double gamma = cfg_.gamma;
+  return stream_partition(
+      g, k, cfg_.balance_slack,
+      [alpha, gamma](graph::Weight conn, std::uint64_t size) {
+        return static_cast<double>(conn) -
+               alpha * gamma / 2.0 *
+                   std::pow(static_cast<double>(size),
+                            gamma - 1.0);
+      });
+}
+
+}  // namespace ethshard::partition

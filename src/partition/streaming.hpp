@@ -1,0 +1,59 @@
+// Streaming (single-pass) graph partitioners.
+//
+// The paper's online placement rule (§II-C: put a new account on the
+// shard where most of its transaction peers live, tie-break on balance)
+// is a degenerate streaming heuristic. These are the two standard
+// full-strength versions from the literature, useful as additional
+// baselines between hashing (stateless) and multilevel (offline):
+//
+//  * LDG (Linear Deterministic Greedy), Stanton & Kliot 2012:
+//      argmax_i |N(v) ∩ P_i| · (1 − |P_i|/C)
+//  * Fennel, Tsourakakis et al. 2014:
+//      argmax_i |N(v) ∩ P_i| − α·γ/2 · |P_i|^{γ−1}
+//
+// Vertices arrive in id order (the blockchain's creation order); only
+// already-assigned neighbours contribute, exactly as in a real stream.
+#pragma once
+
+#include "partition/partitioner.hpp"
+
+namespace ethshard::partition {
+
+struct LdgConfig {
+  /// Capacity factor: each shard holds at most slack·n/k vertices.
+  double balance_slack = 1.1;
+};
+
+class LdgPartitioner final : public Partitioner {
+ public:
+  explicit LdgPartitioner(LdgConfig cfg = {}) : cfg_(cfg) {}
+
+  Partition partition(const graph::Graph& g, std::uint32_t k) override;
+  std::string name() const override { return "LDG"; }
+
+ private:
+  LdgConfig cfg_;
+};
+
+struct FennelConfig {
+  /// Load-cost exponent γ (> 1); the paper's recommended 1.5.
+  double gamma = 1.5;
+  /// Capacity factor, as in LDG.
+  double balance_slack = 1.1;
+  /// Interpolation constant α; 0 → the authors' default
+  /// α = √k · m / n^{3/2}.
+  double alpha = 0;
+};
+
+class FennelPartitioner final : public Partitioner {
+ public:
+  explicit FennelPartitioner(FennelConfig cfg = {}) : cfg_(cfg) {}
+
+  Partition partition(const graph::Graph& g, std::uint32_t k) override;
+  std::string name() const override { return "Fennel"; }
+
+ private:
+  FennelConfig cfg_;
+};
+
+}  // namespace ethshard::partition

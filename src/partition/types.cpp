@@ -1,0 +1,135 @@
+#include "partition/types.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ethshard::partition {
+
+Partition::Partition(std::uint64_t n, std::uint32_t k, ShardId init)
+    : assign_(n, init), k_(k) {
+  ETHSHARD_CHECK(k >= 1);
+  ETHSHARD_CHECK(init == kUnassigned || init < k);
+}
+
+void Partition::assign(graph::Vertex v, ShardId s) {
+  ETHSHARD_CHECK(v < assign_.size());
+  ETHSHARD_CHECK(s == kUnassigned || s < k_);
+  assign_[v] = s;
+}
+
+graph::Vertex Partition::append(ShardId s) {
+  ETHSHARD_CHECK(s == kUnassigned || s < k_);
+  assign_.push_back(s);
+  return assign_.size() - 1;
+}
+
+bool Partition::is_complete() const {
+  return std::all_of(assign_.begin(), assign_.end(),
+                     [](ShardId s) { return s != kUnassigned; });
+}
+
+std::vector<std::uint64_t> Partition::shard_sizes() const {
+  std::vector<std::uint64_t> sizes(k_, 0);
+  for (ShardId s : assign_)
+    if (s != kUnassigned) ++sizes[s];
+  return sizes;
+}
+
+std::vector<graph::Weight> Partition::shard_weights(
+    const graph::Graph& g) const {
+  ETHSHARD_CHECK(g.num_vertices() == assign_.size());
+  std::vector<graph::Weight> weights(k_, 0);
+  for (graph::Vertex v = 0; v < assign_.size(); ++v)
+    if (assign_[v] != kUnassigned) weights[assign_[v]] += g.vertex_weight(v);
+  return weights;
+}
+
+graph::Weight edge_cut_weight(const graph::Graph& g, const Partition& p) {
+  ETHSHARD_CHECK(g.num_vertices() == p.size());
+  graph::Weight cut = 0;
+  for (graph::Vertex u = 0; u < g.num_vertices(); ++u) {
+    const ShardId su = p.shard_of(u);
+    if (su == kUnassigned) continue;
+    for (const graph::Arc& a : g.neighbors(u)) {
+      const ShardId sv = p.shard_of(a.to);
+      if (sv == kUnassigned || sv == su) continue;
+      if (g.directed() || u < a.to) cut += a.weight;
+    }
+  }
+  return cut;
+}
+
+std::uint64_t edge_cut_count(const graph::Graph& g, const Partition& p) {
+  ETHSHARD_CHECK(g.num_vertices() == p.size());
+  std::uint64_t cut = 0;
+  for (graph::Vertex u = 0; u < g.num_vertices(); ++u) {
+    const ShardId su = p.shard_of(u);
+    if (su == kUnassigned) continue;
+    for (const graph::Arc& a : g.neighbors(u)) {
+      const ShardId sv = p.shard_of(a.to);
+      if (sv == kUnassigned || sv == su) continue;
+      if (g.directed() || u < a.to) ++cut;
+    }
+  }
+  return cut;
+}
+
+void align_partition_labels(const Partition& reference, Partition* target) {
+  ETHSHARD_CHECK(target != nullptr);
+  ETHSHARD_CHECK(reference.k() == target->k());
+  const std::uint32_t k = target->k();
+  if (k <= 1) return;
+
+  const std::uint64_t n = std::min(reference.size(), target->size());
+  std::vector<std::uint64_t> overlap(static_cast<std::size_t>(k) * k, 0);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const ShardId a = target->shard_of(v);
+    const ShardId b = reference.shard_of(v);
+    if (a == kUnassigned || b == kUnassigned) continue;
+    ++overlap[static_cast<std::size_t>(a) * k + b];
+  }
+
+  // Greedy maximum-overlap matching: repeatedly fix the (new, old) pair
+  // with the largest shared population.
+  std::vector<ShardId> rename(k, kUnassigned);
+  std::vector<bool> old_used(k, false);
+  for (std::uint32_t round = 0; round < k; ++round) {
+    std::uint64_t best = 0;
+    std::uint32_t bi = k;
+    std::uint32_t bj = k;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      if (rename[i] != kUnassigned) continue;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (old_used[j]) continue;
+        const std::uint64_t o = overlap[static_cast<std::size_t>(i) * k + j];
+        if (bi == k || o > best) {
+          best = o;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == k) break;
+    rename[bi] = bj;
+    old_used[bj] = true;
+  }
+
+  for (graph::Vertex v = 0; v < target->size(); ++v) {
+    const ShardId s = target->shard_of(v);
+    if (s != kUnassigned) target->assign(v, rename[s]);
+  }
+}
+
+std::uint64_t count_moves(const Partition& before, const Partition& after) {
+  const std::uint64_t n = std::min(before.size(), after.size());
+  std::uint64_t moves = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const ShardId a = before.shard_of(v);
+    const ShardId b = after.shard_of(v);
+    if (a != kUnassigned && b != kUnassigned && a != b) ++moves;
+  }
+  return moves;
+}
+
+}  // namespace ethshard::partition

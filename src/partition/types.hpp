@@ -1,0 +1,79 @@
+// Partition assignment type shared by all partitioning methods.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ethshard::partition {
+
+/// Shard (partition block) identifier, 0-based.
+using ShardId = std::uint32_t;
+
+/// Marker for a vertex not yet assigned to any shard.
+inline constexpr ShardId kUnassigned = ~ShardId{0};
+
+/// An assignment of vertices to k shards. Vertices may be temporarily
+/// unassigned while a partition is being constructed; most consumers
+/// require is_complete().
+class Partition {
+ public:
+  Partition() = default;
+
+  /// n vertices, k shards, all vertices initialized to `init`.
+  Partition(std::uint64_t n, std::uint32_t k, ShardId init = kUnassigned);
+
+  std::uint32_t k() const { return k_; }
+  std::uint64_t size() const { return assign_.size(); }
+
+  ShardId shard_of(graph::Vertex v) const { return assign_[v]; }
+
+  /// Assigns v to shard s. Precondition: s < k() or s == kUnassigned.
+  void assign(graph::Vertex v, ShardId s);
+
+  /// Appends a new vertex with the given shard; returns its index.
+  /// Used by the simulator as accounts are created over time.
+  graph::Vertex append(ShardId s);
+
+  bool is_complete() const;
+
+  /// Number of vertices per shard (unassigned vertices excluded).
+  std::vector<std::uint64_t> shard_sizes() const;
+
+  /// Sum of graph vertex weights per shard. Precondition:
+  /// g.num_vertices() == size().
+  std::vector<graph::Weight> shard_weights(const graph::Graph& g) const;
+
+  const std::vector<ShardId>& assignments() const { return assign_; }
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  std::vector<ShardId> assign_;
+  std::uint32_t k_ = 0;
+};
+
+/// Sum of the weights of edges whose endpoints lie in different shards
+/// (each undirected edge counted once; for a directed graph each arc
+/// counts). Unassigned endpoints never contribute.
+graph::Weight edge_cut_weight(const graph::Graph& g, const Partition& p);
+
+/// Number of cut edges (ignoring weights), same conventions as above.
+std::uint64_t edge_cut_count(const graph::Graph& g, const Partition& p);
+
+/// Number of vertices whose shard differs between two assignments over the
+/// common prefix (the paper's "moves" metric; `after` may contain newer
+/// vertices that did not exist before, which cannot have moved).
+std::uint64_t count_moves(const Partition& before, const Partition& after);
+
+/// Renames `target`'s shard labels to maximize agreement with `reference`
+/// (greedy assignment on the k×k overlap matrix over the common prefix).
+/// Partition *structure* is untouched — only label names change — so
+/// edge-cut and balance are invariant; the moves metric stops charging for
+/// pure label permutations between successive from-scratch partitionings.
+/// Preconditions: reference.k() == target->k().
+void align_partition_labels(const Partition& reference, Partition* target);
+
+}  // namespace ethshard::partition

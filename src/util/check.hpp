@@ -1,0 +1,49 @@
+// Lightweight runtime checking helpers.
+//
+// ETHSHARD_CHECK is used for precondition/invariant validation in library
+// code. Violations throw std::logic_error (they indicate a programming
+// error, not an environmental failure), carrying the failed expression and
+// source location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ethshard::util {
+
+/// Thrown when a library precondition or internal invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace ethshard::util
+
+/// Validate a condition; throws ethshard::util::CheckFailure on violation.
+#define ETHSHARD_CHECK(expr)                                                \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::ethshard::util::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Validate a condition with an explanatory message (streamed-in string).
+#define ETHSHARD_CHECK_MSG(expr, msg)                                       \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << msg;                                                           \
+      ::ethshard::util::detail::check_failed(#expr, __FILE__, __LINE__,     \
+                                             os_.str());                    \
+    }                                                                       \
+  } while (0)

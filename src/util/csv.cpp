@@ -1,0 +1,108 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace ethshard::util {
+
+namespace {
+bool needs_quoting(std::string_view v) {
+  return v.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void write_field(std::ostream& out, std::string_view v) {
+  if (!needs_quoting(v)) {
+    out << v;
+    return;
+  }
+  out << '"';
+  for (char c : v) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  sep();
+  write_field(*out_, v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  sep();
+  *out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  sep();
+  *out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  sep();
+  *out_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::sep() {
+  if (!at_row_start_) *out_ << ',';
+  at_row_start_ = false;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    fields = parse_csv_line(line);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ethshard::util

@@ -1,0 +1,43 @@
+// Minimal data parallelism for embarrassingly parallel work.
+//
+// The figure harnesses run dozens of independent simulations (method × k
+// grids); parallel_map fans them out over a fixed number of threads while
+// keeping results in input order. No work stealing, no dependencies —
+// just an atomic cursor over an index range.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ethshard::util {
+
+/// Hardware concurrency with a sane floor (the API never returns 0).
+std::size_t default_thread_count();
+
+/// Applies fn(index) for every index in [0, count) across `threads`
+/// workers (0 → default_thread_count()). Blocks until done. The first
+/// exception thrown by any worker is rethrown on the caller after all
+/// workers stop picking up new work.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+/// Maps fn over inputs in parallel; results keep input order.
+/// R must be default-constructible and movable.
+template <typename T, typename F>
+auto parallel_map(const std::vector<T>& inputs, F&& fn,
+                  std::size_t threads = 0)
+    -> std::vector<decltype(fn(inputs.front()))> {
+  using R = decltype(fn(inputs.front()));
+  std::vector<R> results(inputs.size());
+  parallel_for(
+      inputs.size(),
+      [&](std::size_t i) { results[i] = fn(inputs[i]); }, threads);
+  return results;
+}
+
+}  // namespace ethshard::util

@@ -1,0 +1,84 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace ethshard::util {
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;                                     // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);         // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;            // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                              // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                      // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));    // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+Timestamp make_timestamp(int year, int month, int day) {
+  ETHSHARD_CHECK(month >= 1 && month <= 12);
+  ETHSHARD_CHECK(day >= 1 && day <= 31);
+  return days_from_civil(year, month, day) * kDay;
+}
+
+CivilDate to_civil(Timestamp ts) {
+  std::int64_t days = ts / kDay;
+  if (ts < 0 && ts % kDay != 0) --days;
+  return civil_from_days(days);
+}
+
+Timestamp month_floor(Timestamp ts) {
+  const CivilDate c = to_civil(ts);
+  return make_timestamp(c.year, c.month, 1);
+}
+
+Timestamp add_months(Timestamp ts, int n) {
+  const CivilDate c = to_civil(ts);
+  int idx = c.year * 12 + (c.month - 1) + n;
+  int y = idx / 12;
+  int m = idx % 12;
+  if (m < 0) {
+    m += 12;
+    --y;
+  }
+  return make_timestamp(y, m + 1, 1);
+}
+
+std::string month_label(Timestamp ts) {
+  const CivilDate c = to_civil(ts);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d.%02d", c.month, c.year % 100);
+  return buf;
+}
+
+std::string date_label(Timestamp ts) {
+  const CivilDate c = to_civil(ts);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+Timestamp genesis_time() { return make_timestamp(2015, 7, 30); }
+Timestamp attack_start_time() { return make_timestamp(2016, 9, 18); }
+Timestamp attack_end_time() { return make_timestamp(2016, 10, 25); }
+Timestamp study_end_time() { return make_timestamp(2018, 1, 1); }
+
+}  // namespace ethshard::util

@@ -1,0 +1,72 @@
+// Simulation time model.
+//
+// The paper's experiments are organized on a civil-time grid: the chain
+// runs from 30 July 2015 to the end of 2017, metrics are sampled in
+// four-hour windows, repartitioning happens every two weeks, and figures
+// are labelled by month. Timestamps are unix seconds (UTC); civil-date
+// conversion uses Howard Hinnant's days_from_civil algorithm so no
+// timezone database is needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ethshard::util {
+
+/// Unix timestamp in seconds (UTC).
+using Timestamp = std::int64_t;
+
+inline constexpr Timestamp kMinute = 60;
+inline constexpr Timestamp kHour = 60 * kMinute;
+inline constexpr Timestamp kDay = 24 * kHour;
+inline constexpr Timestamp kWeek = 7 * kDay;
+/// The paper's metric sampling window ("each data point corresponds to a
+/// four-hour window").
+inline constexpr Timestamp kMetricWindow = 4 * kHour;
+/// The paper's periodic repartitioning interval ("every two weeks").
+inline constexpr Timestamp kRepartitionPeriod = 2 * kWeek;
+
+/// Civil (proleptic Gregorian) date.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since the unix epoch for a civil date (valid far beyond our range).
+std::int64_t days_from_civil(int year, int month, int day);
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days);
+
+/// Timestamp at 00:00:00 UTC of the given civil date.
+Timestamp make_timestamp(int year, int month, int day);
+
+/// Civil date containing the timestamp.
+CivilDate to_civil(Timestamp ts);
+
+/// Timestamp truncated to the first instant of its month.
+Timestamp month_floor(Timestamp ts);
+
+/// First instant of the month `n` months after the month containing ts.
+Timestamp add_months(Timestamp ts, int n);
+
+/// "MM.YY" label as used on the paper's x axes (e.g. "07.15").
+std::string month_label(Timestamp ts);
+
+/// "YYYY-MM-DD" ISO date.
+std::string date_label(Timestamp ts);
+
+// Chain-history anchors used throughout the reproduction (all UTC).
+/// Ethereum mainnet genesis: 30 July 2015.
+Timestamp genesis_time();
+/// Start of the DoS-attack period modelled after Sep/Oct 2016.
+Timestamp attack_start_time();
+/// End of the DoS-attack period.
+Timestamp attack_end_time();
+/// End of the study: 31 December 2017 (exclusive end: 1 Jan 2018).
+Timestamp study_end_time();
+
+}  // namespace ethshard::util

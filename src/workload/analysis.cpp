@@ -1,0 +1,87 @@
+#include "workload/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ethshard::workload {
+
+double gini(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double weighted = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * values[i];
+    total += values[i];
+  }
+  if (total <= 0) return 0.0;
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+WorkloadReport analyze_workload(const History& history) {
+  WorkloadReport report;
+  const util::Timestamp attack_start = util::attack_start_time();
+  const util::Timestamp attack_end = util::attack_end_time();
+
+  report.pre_attack.to = attack_start;
+  report.attack.from = attack_start;
+  report.attack.to = attack_end;
+  report.post_attack.from = attack_end;
+
+  if (!history.chain.empty()) {
+    report.pre_attack.from = history.chain.blocks().front().timestamp;
+    report.post_attack.to = history.chain.blocks().back().timestamp + 1;
+  }
+
+  std::unordered_map<eth::AccountId, std::uint64_t> touches;
+  std::vector<bool> seen;
+
+  auto phase_of = [&](util::Timestamp ts) -> PhaseStats& {
+    if (ts < attack_start) return report.pre_attack;
+    if (ts < attack_end) return report.attack;
+    return report.post_attack;
+  };
+
+  for (const eth::Block& block : history.chain.blocks()) {
+    PhaseStats& phase = phase_of(block.timestamp);
+    ++phase.blocks;
+    for (const eth::Transaction& tx : block.transactions) {
+      ++phase.transactions;
+      for (const eth::Call& c : tx.calls) {
+        ++phase.calls;
+        for (const eth::AccountId id : {c.from, c.to}) {
+          ++touches[id];
+          if (seen.size() <= id) seen.resize(id + 1, false);
+          if (!seen[id]) {
+            seen[id] = true;
+            ++phase.new_accounts;
+          }
+        }
+      }
+    }
+  }
+
+  report.total_vertices = touches.size();
+  std::vector<double> activity;
+  activity.reserve(touches.size());
+  double total_touches = 0;
+  for (const auto& [id, n] : touches) {
+    activity.push_back(static_cast<double>(n));
+    total_touches += static_cast<double>(n);
+    if (n == 1) ++report.single_touch_vertices;
+  }
+  report.activity_gini = gini(activity);
+
+  if (!activity.empty() && total_touches > 0) {
+    std::sort(activity.begin(), activity.end(), std::greater<>());
+    const std::size_t top =
+        std::max<std::size_t>(1, activity.size() / 100);
+    double top_sum = 0;
+    for (std::size_t i = 0; i < top; ++i) top_sum += activity[i];
+    report.top1pct_share = top_sum / total_touches;
+  }
+  return report;
+}
+
+}  // namespace ethshard::workload

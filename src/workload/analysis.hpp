@@ -1,0 +1,49 @@
+// Workload characterization.
+//
+// Quantifies the structural facts the paper's analysis rests on: how the
+// three eras (pre-attack exponential, the attack, post-attack
+// super-linear) differ, and how unequal vertex activity is — hubs are
+// what break hashing, dormant ballast is what breaks full-graph METIS.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/generator.hpp"
+
+namespace ethshard::workload {
+
+/// Counts for one era of the chain's history.
+struct PhaseStats {
+  util::Timestamp from = 0;
+  util::Timestamp to = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t new_accounts = 0;  ///< accounts first seen in this era
+};
+
+struct WorkloadReport {
+  PhaseStats pre_attack;
+  PhaseStats attack;
+  PhaseStats post_attack;
+
+  /// Gini coefficient of per-vertex interaction counts, in [0, 1):
+  /// 0 = all vertices equally active, →1 = all activity on a few hubs.
+  double activity_gini = 0;
+  /// Share of all interactions that touch the most-active 1% of vertices.
+  double top1pct_share = 0;
+  /// Vertices touched exactly once — the "dummy/dust" population whose
+  /// ballast drives the §III balance anomaly.
+  std::uint64_t single_touch_vertices = 0;
+  std::uint64_t total_vertices = 0;
+};
+
+/// One pass over the chain. Phase boundaries come from the standard
+/// attack-era anchors (util::attack_start_time / attack_end_time).
+WorkloadReport analyze_workload(const History& history);
+
+/// Gini coefficient of any non-negative sample set (0 for empty input or
+/// an all-zero distribution). Exposed for tests.
+double gini(std::vector<double> values);
+
+}  // namespace ethshard::workload

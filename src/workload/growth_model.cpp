@@ -1,0 +1,39 @@
+#include "workload/growth_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ethshard::workload {
+
+double GrowthModel::cumulative_interactions(util::Timestamp t) const {
+  t = std::clamp(t, genesis, end);
+  const double day = static_cast<double>(util::kDay);
+  auto days = [&](util::Timestamp from, util::Timestamp to) {
+    return static_cast<double>(to - from) / day;
+  };
+
+  // Exponential phase.
+  const double d = days(genesis, std::min(t, attack_start));
+  double total = base_interactions * (std::exp(exp_rate * d) - 1.0);
+  if (t <= attack_start) return total;
+  const double at_attack_start = total;
+
+  // Attack ramp (linear over the attack window).
+  const double attack_len = days(attack_start, attack_end);
+  const double into_attack = days(attack_start, std::min(t, attack_end));
+  total += attack_interactions * (into_attack / attack_len);
+  if (t <= attack_end) return total;
+  const double at_attack_end = at_attack_start + attack_interactions;
+
+  // Post-attack: linear + quadratic, quadratic term fixed by end_target.
+  const double post_len = days(attack_end, end);
+  const double linear_at_end = post_linear_per_day * post_len;
+  const double quad_coeff = std::max(
+      0.0,
+      (end_target - at_attack_end - linear_at_end) / (post_len * post_len));
+  const double dp = days(attack_end, t);
+  total += post_linear_per_day * dp + quad_coeff * dp * dp;
+  return total;
+}
+
+}  // namespace ethshard::workload

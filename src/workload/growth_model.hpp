@@ -1,0 +1,48 @@
+// Volume calibration for the synthetic Ethereum history.
+//
+// The paper's Fig. 1 shows the chain's growth in vertices and edges:
+// exponential from genesis (Jul 2015, ~10^4) until around October 2016
+// (~10^7), a one-order-of-magnitude jump during the Sep/Oct-2016 DoS
+// attack ("the number of vertices and edges increased by one order of
+// magnitude"), then super-linear growth to ~6·10^7 edges by the end of
+// 2017. This model reproduces that cumulative-interaction curve; the
+// generator multiplies it by a scale factor so experiments fit a laptop.
+#pragma once
+
+#include "util/sim_time.hpp"
+
+namespace ethshard::workload {
+
+/// Piecewise cumulative-interaction model at scale 1 (the real chain).
+///
+///  * [genesis, attack_start): I(d) = base · (e^{rate·d} − 1)
+///  * [attack_start, attack_end): + linear ramp of `attack_interactions`
+///  * [attack_end, end]: + linear + quadratic growth reaching `end_target`
+struct GrowthModel {
+  util::Timestamp genesis = util::genesis_time();
+  util::Timestamp attack_start = util::attack_start_time();
+  util::Timestamp attack_end = util::attack_end_time();
+  util::Timestamp end = util::study_end_time();
+
+  /// Virtual interaction count at genesis (the exponential's scale).
+  double base_interactions = 8000.0;
+  /// Exponential growth rate per day; with the default base this yields
+  /// ~1.3e7 cumulative interactions when the attack starts.
+  double exp_rate = 0.01778;
+  /// Interactions added by the attack period (dummy-account spam).
+  double attack_interactions = 1.2e7;
+  /// Post-attack linear term (interactions/day).
+  double post_linear_per_day = 40000.0;
+  /// Cumulative interactions at `end`; fixes the quadratic term.
+  double end_target = 6.0e7;
+
+  /// Cumulative interactions expected by time t (clamped to [genesis,end]).
+  double cumulative_interactions(util::Timestamp t) const;
+
+  /// True when t falls inside the attack window.
+  bool in_attack(util::Timestamp t) const {
+    return t >= attack_start && t < attack_end;
+  }
+};
+
+}  // namespace ethshard::workload

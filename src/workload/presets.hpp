@@ -1,0 +1,41 @@
+// Named workload scenarios.
+//
+// The paper's history is one trajectory; counterfactual variants isolate
+// which phenomenon causes which result (e.g. run METIS on a no-attack
+// chain and its dynamic-balance anomaly disappears — proving the dummy
+// accounts cause it, as §III argues). Presets only adjust the generator
+// configuration; everything stays deterministic under the same seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace ethshard::workload {
+
+enum class Preset {
+  kPaper,       ///< the calibrated default (Fig. 1 shape, attack, ICOs)
+  kNoAttack,    ///< the Sep/Oct-2016 dummy-account spam never happens
+  kIcoFrenzy,   ///< triple crowdsale intensity in the super-linear phase
+  kUniform,     ///< no preferential attachment hubs (uniform targets)
+  kTransfersOnly,  ///< Bitcoin-like: no contracts, plain transfers only
+};
+
+/// All presets, for sweeps.
+inline constexpr Preset kAllPresets[] = {
+    Preset::kPaper, Preset::kNoAttack, Preset::kIcoFrenzy,
+    Preset::kUniform, Preset::kTransfersOnly};
+
+/// The preset's CLI/report name ("paper", "no-attack", ...).
+std::string preset_name(Preset preset);
+
+/// Parses a name produced by preset_name. Throws util::CheckFailure on an
+/// unknown name.
+Preset preset_from_name(const std::string& name);
+
+/// Generator configuration for a preset at the given scale/seed.
+GeneratorConfig preset_config(Preset preset, double scale = 0.002,
+                              std::uint64_t seed = 1234);
+
+}  // namespace ethshard::workload

@@ -1,0 +1,192 @@
+#include "workload/trace_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace ethshard::workload {
+
+namespace {
+
+char kind_code(eth::CallKind k) {
+  switch (k) {
+    case eth::CallKind::kTransfer:
+      return 'T';
+    case eth::CallKind::kContractCall:
+      return 'C';
+    case eth::CallKind::kContractCreate:
+      return 'X';
+  }
+  return '?';
+}
+
+eth::CallKind kind_from_code(const std::string& s) {
+  ETHSHARD_CHECK_MSG(s.size() == 1, "bad call kind '" << s << "'");
+  switch (s[0]) {
+    case 'T':
+      return eth::CallKind::kTransfer;
+    case 'C':
+      return eth::CallKind::kContractCall;
+    case 'X':
+      return eth::CallKind::kContractCreate;
+    default:
+      ETHSHARD_CHECK_MSG(false, "bad call kind '" << s << "'");
+  }
+  return eth::CallKind::kTransfer;  // unreachable
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  ETHSHARD_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+                     "bad integer field '" << s << "'");
+  return v;
+}
+
+struct Row {
+  std::uint64_t block;
+  util::Timestamp timestamp;
+  std::uint64_t tx_index;
+  std::uint64_t call_index;
+  eth::AccountId from;
+  eth::AccountId to;
+  eth::CallKind kind;
+  std::uint64_t value;
+};
+
+}  // namespace
+
+void write_trace(std::ostream& out, const History& history) {
+  util::CsvWriter csv(out);
+  csv.write_row({"block", "timestamp", "tx_index", "call_index", "from",
+                 "to", "kind", "value"});
+  for (const eth::Block& b : history.chain.blocks()) {
+    for (std::size_t ti = 0; ti < b.transactions.size(); ++ti) {
+      const eth::Transaction& tx = b.transactions[ti];
+      for (std::size_t ci = 0; ci < tx.calls.size(); ++ci) {
+        const eth::Call& c = tx.calls[ci];
+        const char kind[2] = {kind_code(c.kind), '\0'};
+        csv.field(b.number)
+            .field(static_cast<std::int64_t>(b.timestamp))
+            .field(static_cast<std::uint64_t>(ti))
+            .field(static_cast<std::uint64_t>(ci))
+            .field(c.from)
+            .field(c.to)
+            .field(std::string_view(kind, 1))
+            .field(c.value_wei);
+        csv.end_row();
+      }
+    }
+  }
+}
+
+History read_trace(std::istream& in) {
+  util::CsvReader reader(in);
+  std::vector<std::string> fields;
+
+  // Header.
+  ETHSHARD_CHECK_MSG(reader.read_row(fields), "empty trace");
+  ETHSHARD_CHECK_MSG(fields.size() == 8 && fields[0] == "block",
+                     "unrecognized trace header");
+
+  std::vector<Row> rows;
+  while (reader.read_row(fields)) {
+    ETHSHARD_CHECK_MSG(fields.size() == 8,
+                       "trace row with " << fields.size() << " fields");
+    Row r;
+    r.block = parse_u64(fields[0]);
+    r.timestamp = static_cast<util::Timestamp>(parse_u64(fields[1]));
+    r.tx_index = parse_u64(fields[2]);
+    r.call_index = parse_u64(fields[3]);
+    r.from = parse_u64(fields[4]);
+    r.to = parse_u64(fields[5]);
+    r.kind = kind_from_code(fields[6]);
+    r.value = parse_u64(fields[7]);
+    rows.push_back(r);
+  }
+
+  // Pass 1: vertex universe — ids, kinds, first appearance.
+  std::uint64_t max_id = 0;
+  for (const Row& r : rows) max_id = std::max({max_id, r.from, r.to});
+
+  History history;
+  if (rows.empty()) return history;
+
+  std::vector<bool> is_contract(max_id + 1, false);
+  std::vector<util::Timestamp> first_seen(max_id + 1, rows.front().timestamp);
+  std::vector<bool> seen(max_id + 1, false);
+  for (const Row& r : rows) {
+    if (r.kind != eth::CallKind::kTransfer) is_contract[r.to] = true;
+    for (const eth::AccountId id : {r.from, r.to}) {
+      if (!seen[id]) {
+        seen[id] = true;
+        first_seen[id] = r.timestamp;
+      }
+    }
+  }
+  for (std::uint64_t id = 0; id <= max_id; ++id) {
+    history.accounts.create(is_contract[id] ? eth::AccountKind::kContract
+                                            : eth::AccountKind::kExternallyOwned,
+                            first_seen[id]);
+  }
+
+  // Pass 2: rebuild blocks and transactions (rows must be in order).
+  eth::Block block;
+  bool block_open = false;
+
+  auto seal_block = [&] {
+    if (!block_open) return;
+    if (!history.chain.empty())
+      block.parent_hash = history.chain.block_hash(block.number - 1);
+    history.chain.append(std::move(block));
+    block = eth::Block{};
+  };
+
+  for (const Row& r : rows) {
+    if (!block_open || r.block != block.number) {
+      ETHSHARD_CHECK_MSG(!block_open || r.block > block.number,
+                         "trace rows out of block order");
+      seal_block();
+      ETHSHARD_CHECK_MSG(r.block == history.chain.size(),
+                         "non-consecutive block numbers in trace");
+      block.number = r.block;
+      block.timestamp = r.timestamp;
+      block_open = true;
+    }
+    ETHSHARD_CHECK_MSG(r.timestamp == block.timestamp,
+                       "inconsistent timestamp within block " << r.block);
+    if (r.tx_index == block.transactions.size()) {
+      eth::Transaction tx;
+      tx.sender = r.from;
+      block.transactions.push_back(std::move(tx));
+    }
+    ETHSHARD_CHECK_MSG(r.tx_index + 1 == block.transactions.size(),
+                       "trace rows out of transaction order");
+    eth::Transaction& tx = block.transactions.back();
+    ETHSHARD_CHECK_MSG(r.call_index == tx.calls.size(),
+                       "trace rows out of call order");
+    tx.calls.push_back(eth::Call{r.from, r.to, r.kind, r.value});
+  }
+  seal_block();
+  return history;
+}
+
+void write_trace_file(const std::string& path, const History& history) {
+  std::ofstream out(path);
+  ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_trace(out, history);
+  ETHSHARD_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+History read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  ETHSHARD_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_trace(in);
+}
+
+}  // namespace ethshard::workload

@@ -1,0 +1,35 @@
+// Trace serialization — the paper's "easily understandable format".
+//
+// The authors published their extracted Ethereum trace as plain data; this
+// module writes and reads a compatible flat CSV so the real trace (or any
+// other chain's) can be substituted for the synthetic history. One row per
+// call:
+//
+//   block,timestamp,tx_index,call_index,from,to,kind,value
+//
+// with kind ∈ {T (ether transfer), C (contract call), X (contract
+// creation)}. Account kinds are implied: any id that is ever the target of
+// a C or X call is a contract, everything else is externally owned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/generator.hpp"
+
+namespace ethshard::workload {
+
+/// Writes the full history as CSV (with a header row).
+void write_trace(std::ostream& out, const History& history);
+
+/// Parses a trace written by write_trace (or hand-assembled in the same
+/// format). Reconstructs blocks (hash-linked), transactions and the
+/// account registry. Throws util::CheckFailure on malformed input.
+History read_trace(std::istream& in);
+
+/// File-path conveniences; throw util::CheckFailure when the file cannot
+/// be opened.
+void write_trace_file(const std::string& path, const History& history);
+History read_trace_file(const std::string& path);
+
+}  // namespace ethshard::workload

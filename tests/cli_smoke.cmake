@@ -1,0 +1,80 @@
+# End-to-end smoke test of the ethshard CLI, run by ctest:
+#   generate -> stats -> simulate (+ csv) -> partition -> dot -> import.
+# Usage: cmake -DCLI=<path-to-ethshard> -DWORKDIR=<scratch> -P cli_smoke.cmake
+
+if(NOT DEFINED CLI OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "cli_smoke.cmake needs -DCLI=... and -DWORKDIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(TRACE "${WORKDIR}/trace.csv")
+set(WINDOWS "${WORKDIR}/windows.csv")
+set(IMPORTED "${WORKDIR}/imported.csv")
+
+function(run_cli expect_substring)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ethshard ${ARGN} failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+  if(NOT expect_substring STREQUAL "" AND NOT out MATCHES "${expect_substring}")
+    message(FATAL_ERROR
+      "ethshard ${ARGN}: expected output matching '${expect_substring}', got:\n${out}")
+  endif()
+endfunction()
+
+run_cli("wrote" generate --scale 0.0003 --seed 5 --out ${TRACE})
+run_cli("transactions" stats --trace ${TRACE})
+run_cli("moves" simulate --trace ${TRACE} --method Hashing --shards 2
+        --csv ${WINDOWS})
+run_cli("commVolume" partition --trace ${TRACE} --shards 4 --method MLKP)
+run_cli("digraph" dot --trace ${TRACE} --from 2016-06-01 --to 2016-08-01
+        --max-nodes 10)
+
+if(NOT EXISTS ${WINDOWS})
+  message(FATAL_ERROR "simulate --csv did not produce ${WINDOWS}")
+endif()
+
+# Hand-craft a tiny BigQuery-style traces export and import it.
+set(BQ "${WORKDIR}/bq_traces.csv")
+file(WRITE ${BQ}
+"block_number,block_timestamp,transaction_hash,from_address,to_address,value,trace_type,input
+100,1500000000,0xaa,0x0000000000000000000000000000000000000001,0x0000000000000000000000000000000000000002,5,call,0xdead
+100,1500000000,0xbb,0x0000000000000000000000000000000000000003,0x0000000000000000000000000000000000000004,9,call,0x
+101,1500000015,0xcc,0x0000000000000000000000000000000000000001,0x0000000000000000000000000000000000000005,0,create,0x6080
+")
+run_cli("imported 3 calls" import --traces ${BQ} --out ${IMPORTED})
+run_cli("transactions" stats --trace ${IMPORTED})
+
+# METIS interop: export the graph, fabricate a .part file with our own
+# partitioner via the partition command being deterministic is overkill —
+# instead produce an all-zeros part file and evaluate it.
+set(METIS_GRAPH "${WORKDIR}/graph.metis")
+run_cli("vertices" metis-export --trace ${TRACE} --out ${METIS_GRAPH})
+# Build a trivial 1-shard-on-0 partition file matching the vertex count.
+file(STRINGS ${METIS_GRAPH} metis_lines)
+list(GET metis_lines 1 header)   # line 0 is the comment
+string(REGEX MATCH "^[0-9]+" metis_n "${header}")
+set(part_content "")
+math(EXPR last "${metis_n} - 1")
+foreach(i RANGE ${last})
+  string(APPEND part_content "0\n")
+endforeach()
+set(METIS_PART "${WORKDIR}/graph.part")
+file(WRITE ${METIS_PART} "${part_content}")
+run_cli("communication volume: 0" metis-eval --trace ${TRACE}
+        --part ${METIS_PART} --shards 2)
+
+# Unknown method must fail cleanly.
+execute_process(
+  COMMAND ${CLI} simulate --trace ${TRACE} --method Bogus
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "simulate with a bogus method should fail")
+endif()
+
+message(STATUS "cli smoke test passed")

@@ -1,0 +1,265 @@
+// End-to-end integration tests asserting the paper's qualitative results
+// (§III) hold on the synthetic history:
+//
+//  * hashing: near-perfect static balance, worst dynamic edge-cut, zero
+//    moves; cut grows with k (≈50% at k=2, ≈88% at k=8 in the paper);
+//  * METIS: much lower edge-cut than hashing, but dynamic balance blows up
+//    after the attack (dummy accounts) and moves are enormous;
+//  * R-METIS: restores dynamic balance with far fewer moves;
+//  * TR-METIS: R-METIS quality with another large drop in moves;
+//  * the edge-cut/balance trade-off: no method wins both.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "core/simulator.hpp"
+#include "core/strategies.hpp"
+#include "core/throughput.hpp"
+#include "metrics/summary.hpp"
+#include "workload/generator.hpp"
+
+namespace ethshard::core {
+namespace {
+
+// One shared, slightly larger history + all five methods at k = 2 and 8.
+class PaperResults : public ::testing::Test {
+ protected:
+  struct MethodRun {
+    SimulationResult result;
+    double mean_dyn_cut = 0;
+    double mean_dyn_balance = 0;
+    double post_attack_dyn_balance = 0;
+  };
+
+  static void SetUpTestSuite() {
+    workload::GeneratorConfig cfg;
+    cfg.scale = 0.004;
+    cfg.seed = 1234;
+    history_ = new workload::History(
+        workload::EthereumHistoryGenerator(cfg).generate());
+    runs_ = new std::map<std::pair<Method, std::uint32_t>, MethodRun>();
+    for (Method m : kAllMethods)
+      for (std::uint32_t k : {2u, 8u}) (*runs_)[{m, k}] = run(m, k);
+  }
+
+  static void TearDownTestSuite() {
+    delete runs_;
+    runs_ = nullptr;
+    delete history_;
+    history_ = nullptr;
+  }
+
+  static MethodRun run(Method m, std::uint32_t k) {
+    const auto strategy = make_strategy(m, 7);
+    SimulatorConfig cfg;
+    cfg.k = k;
+    ShardingSimulator sim(*history_, *strategy, cfg);
+    MethodRun mr;
+    mr.result = sim.run();
+
+    double cut = 0;
+    double bal = 0;
+    double post_bal = 0;
+    std::size_t post_n = 0;
+    for (const WindowSample& w : mr.result.windows) {
+      cut += w.dynamic_edge_cut;
+      bal += w.dynamic_balance;
+      if (w.window_start >= util::attack_end_time()) {
+        post_bal += w.dynamic_balance;
+        ++post_n;
+      }
+    }
+    const auto n = static_cast<double>(mr.result.windows.size());
+    mr.mean_dyn_cut = cut / n;
+    mr.mean_dyn_balance = bal / n;
+    mr.post_attack_dyn_balance =
+        post_n > 0 ? post_bal / static_cast<double>(post_n) : 1.0;
+    return mr;
+  }
+
+  static const MethodRun& get(Method m, std::uint32_t k) {
+    return runs_->at({m, k});
+  }
+
+  static workload::History* history_;
+  static std::map<std::pair<Method, std::uint32_t>, MethodRun>* runs_;
+};
+
+workload::History* PaperResults::history_ = nullptr;
+std::map<std::pair<Method, std::uint32_t>, PaperResults::MethodRun>*
+    PaperResults::runs_ = nullptr;
+
+// ----------------------------------------------------------- §III hashing
+
+TEST_F(PaperResults, HashingStaticBalanceOptimal) {
+  EXPECT_LT(get(Method::kHashing, 2).result.final_static_balance, 1.05);
+  EXPECT_LT(get(Method::kHashing, 8).result.final_static_balance, 1.05);
+}
+
+TEST_F(PaperResults, HashingCutNearHalfAtTwoShards) {
+  // Paper: "with two shards hashing leads to about 50% of transactions
+  // across shards."
+  EXPECT_NEAR(get(Method::kHashing, 2).mean_dyn_cut, 0.5, 0.12);
+}
+
+TEST_F(PaperResults, HashingCutNearNinetyPercentAtEightShards) {
+  // Paper: "when k = 8 ... multi-shard transactions account for 88% of
+  // the total."
+  EXPECT_NEAR(get(Method::kHashing, 8).mean_dyn_cut, 0.875, 0.1);
+}
+
+TEST_F(PaperResults, HashingNeverMoves) {
+  EXPECT_EQ(get(Method::kHashing, 2).result.total_moves, 0u);
+  EXPECT_EQ(get(Method::kHashing, 8).result.total_moves, 0u);
+}
+
+// ------------------------------------------------------------ §III METIS
+
+TEST_F(PaperResults, MetisCutFarBelowHashing) {
+  for (std::uint32_t k : {2u, 8u}) {
+    EXPECT_LT(get(Method::kMetis, k).mean_dyn_cut,
+              0.6 * get(Method::kHashing, k).mean_dyn_cut)
+        << "k=" << k;
+  }
+}
+
+TEST_F(PaperResults, MetisDynamicBalanceDegradesAfterAttack) {
+  // The dummy accounts sit in one shard; the active vertices concentrate,
+  // pushing dynamic balance well above hashing's (paper: "near two").
+  const double metis = get(Method::kMetis, 2).post_attack_dyn_balance;
+  const double hash = get(Method::kHashing, 2).post_attack_dyn_balance;
+  EXPECT_GT(metis, hash + 0.15);
+  EXPECT_GT(metis, 1.4);
+}
+
+TEST_F(PaperResults, MetisMovesAreLargest) {
+  for (std::uint32_t k : {2u, 8u}) {
+    const auto& metis = get(Method::kMetis, k).result;
+    for (Method other : {Method::kKl, Method::kRMetis, Method::kTrMetis}) {
+      EXPECT_GT(metis.total_moves, get(other, k).result.total_moves)
+          << "k=" << k << " vs " << method_name(other);
+    }
+  }
+}
+
+// ---------------------------------------------------------- §III R-METIS
+
+TEST_F(PaperResults, RMetisImprovesDynamicBalanceOverMetis) {
+  EXPECT_LT(get(Method::kRMetis, 2).post_attack_dyn_balance,
+            get(Method::kMetis, 2).post_attack_dyn_balance);
+}
+
+TEST_F(PaperResults, RMetisMovesFarBelowMetis) {
+  EXPECT_LT(get(Method::kRMetis, 2).result.total_moves,
+            get(Method::kMetis, 2).result.total_moves / 2);
+}
+
+TEST_F(PaperResults, RMetisCutStillWellBelowHashing) {
+  EXPECT_LT(get(Method::kRMetis, 2).mean_dyn_cut,
+            get(Method::kHashing, 2).mean_dyn_cut);
+}
+
+// --------------------------------------------------------- §III TR-METIS
+
+TEST_F(PaperResults, TrMetisDramaticallyFewerMovesThanRMetis) {
+  // Paper: "The result is a dramatic decrease in the number of moved
+  // vertices."
+  EXPECT_LT(get(Method::kTrMetis, 2).result.total_moves,
+            get(Method::kRMetis, 2).result.total_moves);
+}
+
+TEST_F(PaperResults, TrMetisQualityComparableToRMetis) {
+  // "...without compromising edge-cuts and balance" — allow slack.
+  EXPECT_LT(get(Method::kTrMetis, 2).mean_dyn_cut,
+            get(Method::kRMetis, 2).mean_dyn_cut + 0.2);
+}
+
+TEST_F(PaperResults, TrMetisRepartitionsLessOften) {
+  EXPECT_LT(get(Method::kTrMetis, 2).result.repartitions.size(),
+            get(Method::kRMetis, 2).result.repartitions.size());
+}
+
+// ---------------------------------------------------------------- §III KL
+
+TEST_F(PaperResults, KlBalancedButCutBetweenHashAndMetis) {
+  const double kl_cut = get(Method::kKl, 2).mean_dyn_cut;
+  EXPECT_LT(kl_cut, get(Method::kHashing, 2).mean_dyn_cut);
+  EXPECT_GT(kl_cut, get(Method::kMetis, 2).mean_dyn_cut * 0.8);
+  EXPECT_LT(get(Method::kKl, 2).mean_dyn_balance,
+            get(Method::kMetis, 2).mean_dyn_balance);
+}
+
+TEST_F(PaperResults, KlMovesNonZero) {
+  EXPECT_GT(get(Method::kKl, 2).result.total_moves, 0u);
+}
+
+// -------------------------------------------------------- cross-cutting
+
+TEST_F(PaperResults, EdgeCutWorsensWithMoreShards) {
+  // Fig. 5, top: every technique's dynamic edge-cut grows with k.
+  for (Method m : kAllMethods) {
+    EXPECT_GE(get(m, 8).mean_dyn_cut + 0.05, get(m, 2).mean_dyn_cut)
+        << method_name(m);
+  }
+}
+
+TEST_F(PaperResults, TradeoffNoMethodWinsBoth) {
+  // §IV: "there is a clear tradeoff between edge-cuts and balance" —
+  // the method with the best cut must not also have the best balance.
+  Method best_cut = Method::kHashing;
+  Method best_bal = Method::kHashing;
+  for (Method m : kAllMethods) {
+    if (get(m, 2).mean_dyn_cut < get(best_cut, 2).mean_dyn_cut)
+      best_cut = m;
+    if (get(m, 2).mean_dyn_balance < get(best_bal, 2).mean_dyn_balance)
+      best_bal = m;
+  }
+  EXPECT_NE(best_cut, best_bal);
+}
+
+TEST_F(PaperResults, ThroughputModelShowsThePitfall) {
+  // §I: "overall system performance will most likely decrease, instead
+  // of increase" — at k=2 the hash-sharded system is slower than an
+  // unsharded node under the 3x cross-shard cost model.
+  const ThroughputSummary hash2 =
+      summarize_throughput(get(Method::kHashing, 2).result);
+  EXPECT_LT(hash2.mean_speedup, 1.05);
+  EXPECT_GT(hash2.loss_fraction, 0.25);
+}
+
+TEST_F(PaperResults, WindowedMethodsScaleBestAtEightShards) {
+  // The methods that keep cut AND balance in check convert shards into
+  // the most throughput.
+  double best = 0;
+  Method best_method = Method::kHashing;
+  for (Method m : kAllMethods) {
+    const double s =
+        summarize_throughput(get(m, 8).result).mean_speedup;
+    if (s > best) {
+      best = s;
+      best_method = m;
+    }
+  }
+  EXPECT_TRUE(best_method == Method::kRMetis ||
+              best_method == Method::kTrMetis)
+      << "best was " << method_name(best_method);
+}
+
+TEST_F(PaperResults, GraphScaleMatchesFig1Shape) {
+  // Vertices and edges end within the same order of magnitude, with the
+  // attack contributing a visible share of all vertices.
+  const auto& r = get(Method::kHashing, 2).result;
+  EXPECT_GT(r.vertices, 10000u);
+  EXPECT_GT(r.distinct_edges, r.vertices / 3);
+
+  std::uint64_t attack_accounts = 0;
+  for (const eth::AccountInfo& info : history_->accounts.all())
+    if (info.created_at >= util::attack_start_time() &&
+        info.created_at < util::attack_end_time())
+      ++attack_accounts;
+  EXPECT_GT(attack_accounts, r.vertices / 10);
+}
+
+}  // namespace
+}  // namespace ethshard::core

@@ -1,0 +1,329 @@
+// Tests for the metrics module: Eq. 1/2 static & dynamic, normalization,
+// window accumulation and distribution summaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/summary.hpp"
+#include "metrics/timeseries.hpp"
+#include "partition/types.hpp"
+#include "util/check.hpp"
+
+namespace ethshard::metrics {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+using partition::Partition;
+
+Graph weighted_square() {
+  // 0-1 (w=10), 1-2 (w=1), 2-3 (w=10), 3-0 (w=1); vertex weights 1,1,5,5.
+  graph::GraphBuilder b;
+  b.add_vertex(1);
+  b.add_vertex(1);
+  b.add_vertex(5);
+  b.add_vertex(5);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 10);
+  b.add_edge(3, 0, 1);
+  return b.build_undirected();
+}
+
+TEST(EdgeCutMetric, StaticCountsEdges) {
+  const Graph g = weighted_square();
+  Partition p(4, 2);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  p.assign(3, 1);
+  // Edges 1-2 and 3-0 cross: 2 of 4.
+  EXPECT_DOUBLE_EQ(static_edge_cut(g, p), 0.5);
+}
+
+TEST(EdgeCutMetric, DynamicWeighsFrequencies) {
+  const Graph g = weighted_square();
+  Partition p(4, 2);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  p.assign(3, 1);
+  // Crossing weight 2 of total 22.
+  EXPECT_DOUBLE_EQ(dynamic_edge_cut(g, p), 2.0 / 22.0);
+}
+
+TEST(EdgeCutMetric, WorstSplitCutsHeavyEdges) {
+  const Graph g = weighted_square();
+  Partition p(4, 2);
+  p.assign(0, 0);
+  p.assign(1, 1);
+  p.assign(2, 0);
+  p.assign(3, 1);
+  EXPECT_DOUBLE_EQ(static_edge_cut(g, p), 1.0);
+  EXPECT_DOUBLE_EQ(dynamic_edge_cut(g, p), 1.0);
+}
+
+TEST(EdgeCutMetric, EdgelessGraphIsZero) {
+  graph::GraphBuilder b;
+  b.ensure_vertices(3);
+  const Graph g = b.build_undirected();
+  Partition p(3, 2, 0);
+  EXPECT_DOUBLE_EQ(static_edge_cut(g, p), 0.0);
+  EXPECT_DOUBLE_EQ(dynamic_edge_cut(g, p), 0.0);
+}
+
+TEST(BalanceMetric, StaticUsesVertexCounts) {
+  Partition p(6, 2);
+  for (Vertex v = 0; v < 6; ++v) p.assign(v, v < 4 ? 0 : 1);
+  // max=4, k=2, n=6 → 4*2/6.
+  EXPECT_DOUBLE_EQ(static_balance(p), 4.0 * 2 / 6);
+}
+
+TEST(BalanceMetric, PerfectBalanceIsOne) {
+  Partition p(8, 4);
+  for (Vertex v = 0; v < 8; ++v) p.assign(v, static_cast<std::uint32_t>(v % 4));
+  EXPECT_DOUBLE_EQ(static_balance(p), 1.0);
+}
+
+TEST(BalanceMetric, DynamicUsesWeights) {
+  const Graph g = weighted_square();  // weights 1,1,5,5
+  Partition p(4, 2);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  p.assign(3, 1);
+  // Loads: shard0 = 2, shard1 = 10; balance = 10*2/12.
+  EXPECT_DOUBLE_EQ(dynamic_balance(g, p), 10.0 * 2 / 12);
+}
+
+TEST(BalanceMetric, EverythingInOneShardEqualsK) {
+  Partition p(10, 5, 0);
+  EXPECT_DOUBLE_EQ(static_balance(p), 5.0);
+}
+
+TEST(NormalizedBalance, MapsRangeToUnitInterval) {
+  EXPECT_DOUBLE_EQ(normalized_balance(1.0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_balance(8.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_balance(1.5, 2), 0.5);
+  EXPECT_DOUBLE_EQ(normalized_balance(2.0, 1), 0.0);  // k=1 degenerate
+}
+
+// ---------------------------------------------------- WindowAccumulator
+
+TEST(WindowAccumulator, EdgeCutFraction) {
+  WindowAccumulator acc(2);
+  acc.record_interaction(0, 0, 3);
+  acc.record_interaction(0, 1, 1);
+  EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), 0.25);
+  EXPECT_EQ(acc.total_interactions(), 4u);
+  EXPECT_EQ(acc.cross_interactions(), 1u);
+}
+
+TEST(WindowAccumulator, BalanceFromLoads) {
+  WindowAccumulator acc(2);
+  acc.record_activity(0, 9);
+  acc.record_activity(1, 3);
+  EXPECT_DOUBLE_EQ(acc.dynamic_balance(), 9.0 * 2 / 12);
+}
+
+TEST(WindowAccumulator, EmptyWindowDefaults) {
+  WindowAccumulator acc(4);
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.dynamic_balance(), 1.0);
+}
+
+TEST(WindowAccumulator, ResetClears) {
+  WindowAccumulator acc(2);
+  acc.record_interaction(0, 1, 5);
+  acc.record_activity(1, 5);
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), 0.0);
+}
+
+TEST(WindowAccumulator, RejectsOutOfRangeShard) {
+  WindowAccumulator acc(2);
+  EXPECT_THROW(acc.record_interaction(0, 2), util::CheckFailure);
+  EXPECT_THROW(acc.record_activity(5), util::CheckFailure);
+}
+
+// ---------------------------------------------------------------- Summary
+
+TEST(Summary, FiveNumberSummary) {
+  const Summary s = summarize({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.q1, 2);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 4);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Summary, InterpolatedQuartiles) {
+  const Summary s = summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.min, 7);
+  EXPECT_DOUBLE_EQ(s.median, 7);
+  EXPECT_DOUBLE_EQ(s.max, 7);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0);
+}
+
+TEST(Summary, QuantileSortedEndpoints) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 3);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 2);
+}
+
+TEST(Summary, MeanStdevKnownValues) {
+  const MeanStdev ms = mean_stdev({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_NEAR(ms.stdev, 2.138, 0.001);  // sample stdev (n-1)
+  EXPECT_EQ(ms.count, 8u);
+}
+
+TEST(Summary, MeanStdevDegenerateCases) {
+  EXPECT_EQ(mean_stdev({}).count, 0u);
+  const MeanStdev one = mean_stdev({42});
+  EXPECT_DOUBLE_EQ(one.mean, 42.0);
+  EXPECT_DOUBLE_EQ(one.stdev, 0.0);
+  const MeanStdev same = mean_stdev({3, 3, 3});
+  EXPECT_DOUBLE_EQ(same.stdev, 0.0);
+}
+
+TEST(Summary, ToStringContainsFields) {
+  const std::string s = to_string(summarize({1, 2, 3}));
+  EXPECT_NE(s.find("med="), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+// ------------------------------------------------------------ timeseries
+
+TimeSeries make_series(std::initializer_list<double> values,
+                       util::Timestamp step = util::kHour) {
+  TimeSeries s;
+  util::Timestamp t = 0;
+  for (double v : values) {
+    s.push_back(TimePoint{t, v});
+    t += step;
+  }
+  return s;
+}
+
+TEST(TimeSeriesOps, EwmaAlphaOneIsIdentity) {
+  const TimeSeries s = make_series({1, 5, 2, 8});
+  EXPECT_EQ(ewma(s, 1.0), s);
+}
+
+TEST(TimeSeriesOps, EwmaSmoothsTowardMean) {
+  const TimeSeries s = make_series({0, 10, 0, 10, 0, 10, 0, 10});
+  const TimeSeries sm = ewma(s, 0.25);
+  // Smoothed oscillation amplitude shrinks.
+  double max_jump = 0;
+  for (std::size_t i = 1; i < sm.size(); ++i)
+    max_jump = std::max(max_jump, std::abs(sm[i].value - sm[i - 1].value));
+  EXPECT_LT(max_jump, 5.0);
+  // First observation seeds exactly.
+  EXPECT_DOUBLE_EQ(sm[0].value, 0.0);
+}
+
+TEST(TimeSeriesOps, EwmaRejectsBadAlpha) {
+  const TimeSeries s = make_series({1});
+  EXPECT_THROW(ewma(s, 0.0), util::CheckFailure);
+  EXPECT_THROW(ewma(s, 1.5), util::CheckFailure);
+}
+
+TEST(TimeSeriesOps, ResampleMeanBucketsCorrectly) {
+  // Hourly values, 4-hour buckets.
+  const TimeSeries s = make_series({1, 2, 3, 4, 5, 6, 7, 8});
+  const TimeSeries r = resample_mean(s, 0, 4 * util::kHour);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0].value, 2.5);
+  EXPECT_DOUBLE_EQ(r[1].value, 6.5);
+  EXPECT_EQ(r[0].time, 0);
+  EXPECT_EQ(r[1].time, 4 * util::kHour);
+}
+
+TEST(TimeSeriesOps, ResampleSkipsEmptyBuckets) {
+  TimeSeries s;
+  s.push_back(TimePoint{0, 1.0});
+  s.push_back(TimePoint{10 * util::kHour, 2.0});
+  const TimeSeries r = resample_mean(s, 0, util::kHour);
+  ASSERT_EQ(r.size(), 2u);  // 9 empty buckets produce nothing
+}
+
+TEST(TimeSeriesOps, ResampleCustomReduction) {
+  const TimeSeries s = make_series({1, 9, 4});
+  const TimeSeries r =
+      resample(s, 0, util::kDay, [](const std::vector<double>& v) {
+        return *std::max_element(v.begin(), v.end());
+      });
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0].value, 9.0);
+}
+
+TEST(TimeSeriesOps, SummarizeRangeFilters) {
+  const TimeSeries s = make_series({1, 2, 3, 4, 5});
+  const Summary sum =
+      summarize_range(s, util::kHour, 4 * util::kHour);  // values 2,3,4
+  EXPECT_EQ(sum.count, 3u);
+  EXPECT_DOUBLE_EQ(sum.median, 3.0);
+}
+
+TEST(TimeSeriesOps, MaxGap) {
+  TimeSeries s;
+  s.push_back(TimePoint{0, 0});
+  s.push_back(TimePoint{util::kHour, 0});
+  s.push_back(TimePoint{5 * util::kHour, 0});
+  EXPECT_EQ(max_gap(s), 4 * util::kHour);
+  EXPECT_EQ(max_gap({}), 0);
+}
+
+TEST(TimeSeriesOps, RollingMean) {
+  const TimeSeries s = make_series({2, 4, 6, 8});
+  const TimeSeries r = rolling_mean(s, 2);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0].value, 2.0);  // prefix shorter than window
+  EXPECT_DOUBLE_EQ(r[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(r[2].value, 5.0);
+  EXPECT_DOUBLE_EQ(r[3].value, 7.0);
+}
+
+// --------------------------------------------- consistency with partition
+
+TEST(Consistency, WindowAccumulatorMatchesGraphMetrics) {
+  // Recording every edge of a static graph into the accumulator must give
+  // the same dynamic edge-cut as the graph-level computation.
+  const Graph g = graph::make_grid(6, 6);
+  Partition p(g.num_vertices(), 2);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    p.assign(v, v % 2 == 0 ? 0u : 1u);
+
+  WindowAccumulator acc(2);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    for (const graph::Arc& a : g.neighbors(v))
+      if (v < a.to)
+        acc.record_interaction(p.shard_of(v), p.shard_of(a.to), a.weight);
+
+  EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), dynamic_edge_cut(g, p));
+}
+
+}  // namespace
+}  // namespace ethshard::metrics

@@ -1,0 +1,754 @@
+// Tests for the workload module: growth-model calibration, generator
+// structural properties (phases, attack dummies, hubs, call cascades) and
+// trace round-tripping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eth/gas.hpp"
+#include "util/check.hpp"
+#include "workload/generator.hpp"
+#include "workload/growth_model.hpp"
+#include "workload/analysis.hpp"
+#include "workload/import.hpp"
+#include "workload/presets.hpp"
+#include "workload/trace_io.hpp"
+
+namespace ethshard::workload {
+namespace {
+
+using util::Timestamp;
+
+// ----------------------------------------------------------- GrowthModel
+
+TEST(GrowthModel, MonotoneNondecreasing) {
+  GrowthModel m;
+  double prev = -1;
+  for (Timestamp t = m.genesis; t <= m.end; t += 7 * util::kDay) {
+    const double v = m.cumulative_interactions(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(GrowthModel, StartsNearZero) {
+  GrowthModel m;
+  EXPECT_DOUBLE_EQ(m.cumulative_interactions(m.genesis), 0.0);
+  EXPECT_LT(m.cumulative_interactions(m.genesis + util::kDay), 1000.0);
+}
+
+TEST(GrowthModel, ReachesAttackScale) {
+  GrowthModel m;
+  const double at_attack = m.cumulative_interactions(m.attack_start);
+  EXPECT_GT(at_attack, 5e6);
+  EXPECT_LT(at_attack, 5e7);
+}
+
+TEST(GrowthModel, AttackAddsOrderOfMagnitudeJump) {
+  GrowthModel m;
+  const double before = m.cumulative_interactions(m.attack_start);
+  const double after = m.cumulative_interactions(m.attack_end);
+  EXPECT_GT(after, before + 0.9 * m.attack_interactions);
+}
+
+TEST(GrowthModel, HitsEndTarget) {
+  GrowthModel m;
+  EXPECT_NEAR(m.cumulative_interactions(m.end), m.end_target,
+              0.05 * m.end_target);
+}
+
+TEST(GrowthModel, ExponentialPhaseIsExponential) {
+  // Ratio over equal spans must be roughly constant in the first phase.
+  GrowthModel m;
+  const Timestamp t0 = m.genesis + 120 * util::kDay;
+  const Timestamp t1 = t0 + 60 * util::kDay;
+  const Timestamp t2 = t1 + 60 * util::kDay;
+  const double r1 =
+      m.cumulative_interactions(t1) / m.cumulative_interactions(t0);
+  const double r2 =
+      m.cumulative_interactions(t2) / m.cumulative_interactions(t1);
+  EXPECT_NEAR(r1, r2, 0.35 * r1);
+}
+
+TEST(GrowthModel, ClampsOutsideRange) {
+  GrowthModel m;
+  EXPECT_DOUBLE_EQ(m.cumulative_interactions(m.genesis - util::kWeek), 0.0);
+  EXPECT_DOUBLE_EQ(m.cumulative_interactions(m.end + util::kWeek),
+                   m.cumulative_interactions(m.end));
+}
+
+TEST(GrowthModel, InAttackWindow) {
+  GrowthModel m;
+  EXPECT_FALSE(m.in_attack(m.attack_start - 1));
+  EXPECT_TRUE(m.in_attack(m.attack_start));
+  EXPECT_TRUE(m.in_attack(m.attack_end - 1));
+  EXPECT_FALSE(m.in_attack(m.attack_end));
+}
+
+// -------------------------------------------------------------- Generator
+
+GeneratorConfig small_config(double scale = 0.002, std::uint64_t seed = 7) {
+  GeneratorConfig cfg;
+  cfg.scale = scale;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class GeneratedHistoryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    history_ = new History(
+        EthereumHistoryGenerator(small_config()).generate());
+  }
+  static void TearDownTestSuite() {
+    delete history_;
+    history_ = nullptr;
+  }
+  static const History& history() { return *history_; }
+
+ private:
+  static History* history_;
+};
+
+History* GeneratedHistoryTest::history_ = nullptr;
+
+TEST_F(GeneratedHistoryTest, ChainValidates) {
+  EXPECT_TRUE(history().chain.validate());
+}
+
+TEST_F(GeneratedHistoryTest, VolumeTracksModelTimesScale) {
+  const HistoryStats st = stats_of(history());
+  const GrowthModel model;
+  const double expect = 0.002 * model.cumulative_interactions(model.end);
+  EXPECT_NEAR(static_cast<double>(st.calls), expect, 0.15 * expect);
+}
+
+TEST_F(GeneratedHistoryTest, TimestampsSpanTheStudyPeriod) {
+  const auto& blocks = history().chain.blocks();
+  ASSERT_FALSE(blocks.empty());
+  EXPECT_LT(blocks.front().timestamp,
+            util::genesis_time() + 90 * util::kDay);
+  EXPECT_GT(blocks.back().timestamp,
+            util::study_end_time() - 7 * util::kDay);
+}
+
+TEST_F(GeneratedHistoryTest, AllTransactionsWellFormed) {
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      ASSERT_TRUE(tx.well_formed());
+}
+
+TEST_F(GeneratedHistoryTest, CallEndpointsAreRegistered) {
+  const auto& reg = history().accounts;
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        ASSERT_TRUE(reg.contains(c.from));
+        ASSERT_TRUE(reg.contains(c.to));
+      }
+}
+
+TEST_F(GeneratedHistoryTest, ContractCallsTargetContracts) {
+  const auto& reg = history().accounts;
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        if (c.kind != eth::CallKind::kTransfer)
+          ASSERT_EQ(reg.info(c.to).kind, eth::AccountKind::kContract);
+        else
+          ASSERT_EQ(reg.info(c.to).kind,
+                    eth::AccountKind::kExternallyOwned);
+      }
+}
+
+TEST_F(GeneratedHistoryTest, SendersAreExternallyOwned) {
+  const auto& reg = history().accounts;
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      ASSERT_EQ(reg.info(tx.sender).kind,
+                eth::AccountKind::kExternallyOwned);
+}
+
+TEST_F(GeneratedHistoryTest, AttackMintsDummiesThatNeverReturn) {
+  // Accounts created during the attack window must be (a) numerous and
+  // (b) overwhelmingly touched exactly once (the paper's dummy accounts).
+  const auto& reg = history().accounts;
+  std::unordered_map<eth::AccountId, int> touches;
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        ++touches[c.from];
+        ++touches[c.to];
+      }
+
+  std::uint64_t attack_created = 0;
+  std::uint64_t attack_single_touch = 0;
+  for (const eth::AccountInfo& info : reg.all()) {
+    if (info.kind != eth::AccountKind::kExternallyOwned) continue;
+    if (info.created_at < util::attack_start_time() ||
+        info.created_at >= util::attack_end_time())
+      continue;
+    ++attack_created;
+    if (touches[info.id] <= 1) ++attack_single_touch;
+  }
+  ASSERT_GT(attack_created, 1000u);
+  EXPECT_GT(static_cast<double>(attack_single_touch) /
+                static_cast<double>(attack_created),
+            0.75);
+}
+
+TEST_F(GeneratedHistoryTest, GraphHasHubs) {
+  // Preferential attachment must produce high-degree vertices.
+  std::unordered_map<eth::AccountId, std::uint64_t> degree;
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        ++degree[c.from];
+        ++degree[c.to];
+      }
+  std::uint64_t max_deg = 0;
+  double total = 0;
+  for (const auto& [id, d] : degree) {
+    max_deg = std::max(max_deg, d);
+    total += static_cast<double>(d);
+  }
+  const double mean = total / static_cast<double>(degree.size());
+  EXPECT_GT(static_cast<double>(max_deg), 50.0 * mean);
+}
+
+TEST_F(GeneratedHistoryTest, InternalCallCascadesExist) {
+  std::uint64_t multi_call_txs = 0;
+  std::uint64_t txs = 0;
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions) {
+      ++txs;
+      if (tx.calls.size() > 1) ++multi_call_txs;
+    }
+  EXPECT_GT(multi_call_txs, txs / 20);
+}
+
+TEST_F(GeneratedHistoryTest, ArchetypesAreAssigned) {
+  std::uint64_t tokens = 0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t icos = 0;
+  std::uint64_t generic = 0;
+  for (const eth::AccountInfo& info : history().accounts.all()) {
+    if (info.kind != eth::AccountKind::kContract) {
+      ASSERT_EQ(info.archetype, eth::ContractArchetype::kGeneric);
+      continue;
+    }
+    switch (info.archetype) {
+      case eth::ContractArchetype::kToken: ++tokens; break;
+      case eth::ContractArchetype::kExchange: ++exchanges; break;
+      case eth::ContractArchetype::kIco: ++icos; break;
+      case eth::ContractArchetype::kGeneric: ++generic; break;
+    }
+  }
+  EXPECT_GT(tokens, 0u);
+  EXPECT_GT(exchanges, 0u);
+  EXPECT_GT(icos, 0u);
+  EXPECT_GT(generic, tokens);  // generic stays the majority
+}
+
+TEST_F(GeneratedHistoryTest, IcosOnlyAppearAfterAttack) {
+  for (const eth::AccountInfo& info : history().accounts.all())
+    if (info.archetype == eth::ContractArchetype::kIco) {
+      EXPECT_GE(info.created_at, util::attack_end_time());
+    }
+}
+
+TEST_F(GeneratedHistoryTest, IcoTrafficDiesAfterLifetime) {
+  // Every ICO's incoming calls must cluster inside its hot window;
+  // afterwards the crowdsale goes silent (the pattern that rewards
+  // threshold-triggered repartitioning).
+  std::unordered_map<eth::AccountId, std::uint64_t> in_window;
+  std::unordered_map<eth::AccountId, std::uint64_t> after_window;
+  const auto& reg = history().accounts;
+  const util::Timestamp lifetime = 3 * util::kWeek;  // config default
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        if (!reg.contains(c.to) ||
+            reg.info(c.to).archetype != eth::ContractArchetype::kIco)
+          continue;
+        const util::Timestamp hot_end =
+            reg.info(c.to).created_at + 2 * lifetime;
+        if (b.timestamp <= hot_end)
+          ++in_window[c.to];
+        else
+          ++after_window[c.to];
+      }
+  std::uint64_t in = 0;
+  std::uint64_t after = 0;
+  for (const auto& [id, n] : in_window) in += n;
+  for (const auto& [id, n] : after_window) after += n;
+  ASSERT_GT(in, 0u);
+  EXPECT_LT(static_cast<double>(after), 0.05 * static_cast<double>(in));
+}
+
+TEST_F(GeneratedHistoryTest, ExchangesAreHubs) {
+  std::unordered_map<eth::AccountId, std::uint64_t> degree;
+  for (const eth::Block& b : history().chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) ++degree[c.to];
+
+  double exchange_total = 0;
+  std::uint64_t exchange_count = 0;
+  double contract_total = 0;
+  std::uint64_t contract_count = 0;
+  for (const eth::AccountInfo& info : history().accounts.all()) {
+    if (info.kind != eth::AccountKind::kContract) continue;
+    const double d = static_cast<double>(degree[info.id]);
+    contract_total += d;
+    ++contract_count;
+    if (info.archetype == eth::ContractArchetype::kExchange) {
+      exchange_total += d;
+      ++exchange_count;
+    }
+  }
+  ASSERT_GT(exchange_count, 0u);
+  ASSERT_GT(contract_count, exchange_count);
+  EXPECT_GT(exchange_total / static_cast<double>(exchange_count),
+            3.0 * contract_total / static_cast<double>(contract_count));
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const History a =
+      EthereumHistoryGenerator(small_config(0.0005, 11)).generate();
+  const History b =
+      EthereumHistoryGenerator(small_config(0.0005, 11)).generate();
+  ASSERT_EQ(a.chain.size(), b.chain.size());
+  ASSERT_EQ(a.accounts.size(), b.accounts.size());
+  for (std::uint64_t i = 0; i < a.chain.size(); ++i)
+    ASSERT_EQ(a.chain.block_hash(i), b.chain.block_hash(i));
+}
+
+TEST(Generator, SeedsDiverge) {
+  const History a =
+      EthereumHistoryGenerator(small_config(0.0005, 1)).generate();
+  const History b =
+      EthereumHistoryGenerator(small_config(0.0005, 2)).generate();
+  EXPECT_NE(a.chain.block_hash(a.chain.size() - 1),
+            b.chain.block_hash(b.chain.size() - 1));
+}
+
+TEST(Generator, ScaleScalesVolume) {
+  const HistoryStats small = stats_of(
+      EthereumHistoryGenerator(small_config(0.0005)).generate());
+  const HistoryStats bigger = stats_of(
+      EthereumHistoryGenerator(small_config(0.002)).generate());
+  EXPECT_NEAR(static_cast<double>(bigger.calls) /
+                  static_cast<double>(small.calls),
+              4.0, 1.0);
+}
+
+TEST(Generator, MempoolModeProducesSameTransactions) {
+  GeneratorConfig direct_cfg = small_config(0.0005, 31);
+  GeneratorConfig miner_cfg = direct_cfg;
+  miner_cfg.use_mempool = true;
+
+  const History direct = EthereumHistoryGenerator(direct_cfg).generate();
+  const History mined = EthereumHistoryGenerator(miner_cfg).generate();
+
+  // Same transaction *set* (same rng stream), different block packing.
+  EXPECT_EQ(workload::stats_of(direct).calls,
+            workload::stats_of(mined).calls);
+  EXPECT_EQ(direct.chain.transaction_count(),
+            mined.chain.transaction_count());
+  EXPECT_TRUE(mined.chain.validate());
+}
+
+TEST(Generator, MempoolModeRespectsGasLimit) {
+  GeneratorConfig cfg = small_config(0.0003, 37);
+  cfg.use_mempool = true;
+  cfg.block_gas_limit = 300'000;  // tight: forces multi-block spill
+  const History h = EthereumHistoryGenerator(cfg).generate();
+  EXPECT_TRUE(h.chain.validate());
+  for (const eth::Block& b : h.chain.blocks()) {
+    std::uint64_t gas = 0;
+    for (const eth::Transaction& tx : b.transactions)
+      gas += eth::transaction_gas(tx);
+    EXPECT_LE(gas, cfg.block_gas_limit) << "block " << b.number;
+  }
+}
+
+TEST(Generator, MempoolModeKeepsNonceOrderPerSender) {
+  GeneratorConfig cfg = small_config(0.0003, 41);
+  cfg.use_mempool = true;
+  const History h = EthereumHistoryGenerator(cfg).generate();
+  std::unordered_map<eth::AccountId, std::uint64_t> last_nonce;
+  for (const eth::Block& b : h.chain.blocks())
+    for (const eth::Transaction& tx : b.transactions) {
+      const auto it = last_nonce.find(tx.sender);
+      if (it != last_nonce.end()) {
+        ASSERT_GT(tx.nonce, it->second) << "sender " << tx.sender;
+      }
+      last_nonce[tx.sender] = tx.nonce;
+    }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.scale = 0;
+  EXPECT_THROW(EthereumHistoryGenerator{cfg}, util::CheckFailure);
+}
+
+// --------------------------------------------------------------- TraceIO
+
+TEST(TraceIo, RoundTripPreservesStructure) {
+  const History original =
+      EthereumHistoryGenerator(small_config(0.0005, 23)).generate();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const History restored = read_trace(buffer);
+
+  ASSERT_EQ(restored.chain.size(), original.chain.size());
+  ASSERT_EQ(restored.chain.transaction_count(),
+            original.chain.transaction_count());
+  EXPECT_TRUE(restored.chain.validate());
+
+  for (std::uint64_t i = 0; i < original.chain.size(); ++i) {
+    const eth::Block& ob = original.chain.block(i);
+    const eth::Block& rb = restored.chain.block(i);
+    ASSERT_EQ(ob.timestamp, rb.timestamp);
+    ASSERT_EQ(ob.transactions.size(), rb.transactions.size());
+    for (std::size_t t = 0; t < ob.transactions.size(); ++t) {
+      ASSERT_EQ(ob.transactions[t].sender, rb.transactions[t].sender);
+      ASSERT_EQ(ob.transactions[t].calls, rb.transactions[t].calls);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesAccountKinds) {
+  const History original =
+      EthereumHistoryGenerator(small_config(0.0005, 29)).generate();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const History restored = read_trace(buffer);
+
+  // Every account that participates in a call must keep its kind.
+  std::unordered_set<eth::AccountId> participating;
+  for (const eth::Block& b : original.chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        participating.insert(c.from);
+        participating.insert(c.to);
+      }
+  for (eth::AccountId id : participating)
+    EXPECT_EQ(restored.accounts.info(id).kind,
+              original.accounts.info(id).kind)
+        << "account " << id;
+}
+
+TEST(TraceIo, HandcraftedTrace) {
+  const std::string csv =
+      "block,timestamp,tx_index,call_index,from,to,kind,value\n"
+      "0,1000,0,0,0,1,T,5\n"
+      "0,1000,1,0,2,3,C,0\n"
+      "0,1000,1,1,3,1,T,7\n"
+      "1,2000,0,0,1,3,C,0\n";
+  std::istringstream in(csv);
+  const History h = read_trace(in);
+  EXPECT_EQ(h.chain.size(), 2u);
+  EXPECT_EQ(h.chain.transaction_count(), 3u);
+  EXPECT_EQ(h.accounts.size(), 4u);
+  EXPECT_EQ(h.accounts.info(3).kind, eth::AccountKind::kContract);
+  EXPECT_EQ(h.accounts.info(1).kind, eth::AccountKind::kExternallyOwned);
+  EXPECT_TRUE(h.chain.validate());
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::istringstream in("foo,bar\n");
+  EXPECT_THROW(read_trace(in), util::CheckFailure);
+}
+
+TEST(TraceIo, RejectsOutOfOrderBlocks) {
+  const std::string csv =
+      "block,timestamp,tx_index,call_index,from,to,kind,value\n"
+      "1,1000,0,0,0,1,T,5\n";
+  std::istringstream in(csv);
+  EXPECT_THROW(read_trace(in), util::CheckFailure);
+}
+
+TEST(TraceIo, RejectsBadKind) {
+  const std::string csv =
+      "block,timestamp,tx_index,call_index,from,to,kind,value\n"
+      "0,1000,0,0,0,1,Z,5\n";
+  std::istringstream in(csv);
+  EXPECT_THROW(read_trace(in), util::CheckFailure);
+}
+
+// --------------------------------------------------------------- analysis
+
+TEST(Gini, KnownDistributions) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini({5}), 0.0);
+  EXPECT_DOUBLE_EQ(gini({3, 3, 3, 3}), 0.0);        // perfect equality
+  EXPECT_NEAR(gini({0, 0, 0, 10}), 0.75, 1e-9);     // one vertex has all
+  // Two equal holders of everything among four: G = 0.5.
+  EXPECT_NEAR(gini({0, 0, 5, 5}), 0.5, 1e-9);
+}
+
+TEST(Gini, ScaleInvariant) {
+  const std::vector<double> base = {1, 2, 3, 10, 20};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(v * 1000);
+  EXPECT_NEAR(gini(base), gini(scaled), 1e-12);
+}
+
+TEST_F(GeneratedHistoryTest, WorkloadReportPhasesAddUp) {
+  const WorkloadReport r = analyze_workload(history());
+  const HistoryStats st = stats_of(history());
+  EXPECT_EQ(r.pre_attack.calls + r.attack.calls + r.post_attack.calls,
+            st.calls);
+  EXPECT_EQ(r.pre_attack.transactions + r.attack.transactions +
+                r.post_attack.transactions,
+            st.transactions);
+  EXPECT_EQ(r.pre_attack.blocks + r.attack.blocks + r.post_attack.blocks,
+            st.blocks);
+}
+
+TEST_F(GeneratedHistoryTest, AttackEraMintsMostNewAccountsPerDay) {
+  const WorkloadReport r = analyze_workload(history());
+  const double attack_days =
+      static_cast<double>(r.attack.to - r.attack.from) / util::kDay;
+  const double post_days =
+      static_cast<double>(r.post_attack.to - r.post_attack.from) /
+      util::kDay;
+  const double attack_rate =
+      static_cast<double>(r.attack.new_accounts) / attack_days;
+  const double post_rate =
+      static_cast<double>(r.post_attack.new_accounts) / post_days;
+  EXPECT_GT(attack_rate, 2.0 * post_rate);
+}
+
+TEST_F(GeneratedHistoryTest, ActivityIsHighlyUnequal) {
+  const WorkloadReport r = analyze_workload(history());
+  // Hub-dominated: strong inequality and a fat single-touch tail.
+  EXPECT_GT(r.activity_gini, 0.5);
+  EXPECT_LT(r.activity_gini, 1.0);
+  EXPECT_GT(r.top1pct_share, 0.15);
+  EXPECT_GT(r.single_touch_vertices, r.total_vertices / 4);
+}
+
+TEST(WorkloadAnalysis, UniformPresetIsMoreEqual) {
+  const History hubby = EthereumHistoryGenerator(
+      preset_config(Preset::kPaper, 0.001, 13)).generate();
+  const History flat = EthereumHistoryGenerator(
+      preset_config(Preset::kUniform, 0.001, 13)).generate();
+  EXPECT_LT(analyze_workload(flat).activity_gini,
+            analyze_workload(hubby).activity_gini);
+}
+
+TEST(WorkloadAnalysis, EmptyHistory) {
+  const History empty;
+  const WorkloadReport r = analyze_workload(empty);
+  EXPECT_EQ(r.total_vertices, 0u);
+  EXPECT_DOUBLE_EQ(r.activity_gini, 0.0);
+}
+
+// ---------------------------------------------------------------- presets
+
+TEST(Presets, NamesRoundTrip) {
+  for (Preset p : kAllPresets)
+    EXPECT_EQ(preset_from_name(preset_name(p)), p);
+  EXPECT_THROW(preset_from_name("bogus"), util::CheckFailure);
+}
+
+TEST(Presets, NoAttackRemovesDummyWave) {
+  const History attack = EthereumHistoryGenerator(
+      preset_config(Preset::kPaper, 0.001, 9)).generate();
+  const History clean = EthereumHistoryGenerator(
+      preset_config(Preset::kNoAttack, 0.001, 9)).generate();
+
+  auto attack_accounts = [](const History& h) {
+    std::uint64_t n = 0;
+    for (const eth::AccountInfo& info : h.accounts.all())
+      if (info.created_at >= util::attack_start_time() &&
+          info.created_at < util::attack_end_time())
+        ++n;
+    return n;
+  };
+  EXPECT_LT(attack_accounts(clean), attack_accounts(attack) / 10);
+  // Total volume also drops by roughly the attack's contribution.
+  EXPECT_LT(stats_of(clean).calls, stats_of(attack).calls);
+}
+
+TEST(Presets, TransfersOnlyHasNoContracts) {
+  const History h = EthereumHistoryGenerator(
+      preset_config(Preset::kTransfersOnly, 0.0005, 9)).generate();
+  EXPECT_EQ(h.accounts.contract_count(), 0u);
+  for (const eth::Block& b : h.chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls)
+        ASSERT_EQ(c.kind, eth::CallKind::kTransfer);
+}
+
+TEST(Presets, UniformKillsHubs) {
+  auto max_over_mean_degree = [](const History& h) {
+    std::unordered_map<eth::AccountId, std::uint64_t> degree;
+    for (const eth::Block& b : h.chain.blocks())
+      for (const eth::Transaction& tx : b.transactions)
+        for (const eth::Call& c : tx.calls) {
+          ++degree[c.from];
+          ++degree[c.to];
+        }
+    std::uint64_t max = 0;
+    double total = 0;
+    for (const auto& [id, d] : degree) {
+      max = std::max(max, d);
+      total += static_cast<double>(d);
+    }
+    return static_cast<double>(max) /
+           (total / static_cast<double>(degree.size()));
+  };
+  const History hubby = EthereumHistoryGenerator(
+      preset_config(Preset::kPaper, 0.001, 9)).generate();
+  const History flat = EthereumHistoryGenerator(
+      preset_config(Preset::kUniform, 0.001, 9)).generate();
+  EXPECT_LT(max_over_mean_degree(flat), max_over_mean_degree(hubby));
+}
+
+TEST(Presets, IcoFrenzyMintsMoreIcos) {
+  auto ico_count = [](const History& h) {
+    std::uint64_t n = 0;
+    for (const eth::AccountInfo& info : h.accounts.all())
+      if (info.archetype == eth::ContractArchetype::kIco) ++n;
+    return n;
+  };
+  const History normal = EthereumHistoryGenerator(
+      preset_config(Preset::kPaper, 0.001, 9)).generate();
+  const History frenzy = EthereumHistoryGenerator(
+      preset_config(Preset::kIcoFrenzy, 0.001, 9)).generate();
+  EXPECT_GT(ico_count(frenzy), ico_count(normal));
+}
+
+// ------------------------------------------------------- BigQuery import
+
+constexpr const char* kTracesHeader =
+    "block_number,block_timestamp,transaction_hash,from_address,"
+    "to_address,value,trace_type,input\n";
+
+std::string addr(int n) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "0x%040x", n);
+  return buf;
+}
+
+TEST(BigQueryImport, BasicTracesImport) {
+  std::string csv = kTracesHeader;
+  // Block 4000000: one tx with a contract call cascade, one transfer.
+  csv += "4000000,2017-07-01 12:00:00 UTC,0xaaa," + addr(1) + "," +
+         addr(2) + ",0,call,0xdeadbeef\n";
+  csv += "4000000,2017-07-01 12:00:00 UTC,0xaaa," + addr(2) + "," +
+         addr(3) + ",5,call,\n";
+  csv += "4000000,2017-07-01 12:00:00 UTC,0xbbb," + addr(4) + "," +
+         addr(5) + ",1000,call,0x\n";
+  // Block 4000001: a contract creation.
+  csv += "4000001,2017-07-01 12:00:15 UTC,0xccc," + addr(1) + "," +
+         addr(6) + ",0,create,0x60806040\n";
+  std::istringstream in(csv);
+  const ImportResult r = import_bigquery_traces(in);
+
+  EXPECT_EQ(r.stats.rows, 4u);
+  EXPECT_EQ(r.stats.skipped_rows, 0u);
+  EXPECT_EQ(r.stats.imported_calls, 4u);
+  EXPECT_EQ(r.stats.transactions, 3u);
+  EXPECT_EQ(r.stats.blocks, 2u);
+  EXPECT_EQ(r.stats.accounts, 6u);
+
+  EXPECT_TRUE(r.history.chain.validate());
+  // Contract detection: addr(2) called with calldata → contract; addr(3)
+  // and addr(5) got plain transfers → EOA; addr(6) created → contract.
+  const auto& reg = r.history.accounts;
+  EXPECT_EQ(reg.info(1).kind, eth::AccountKind::kContract);  // addr(2)=id1
+  EXPECT_EQ(reg.info(2).kind, eth::AccountKind::kExternallyOwned);
+  EXPECT_EQ(reg.info(4).kind, eth::AccountKind::kExternallyOwned);
+  EXPECT_EQ(reg.info(5).kind, eth::AccountKind::kContract);  // created
+
+  // Call kinds map through.
+  const eth::Block& b0 = r.history.chain.block(0);
+  ASSERT_EQ(b0.transactions.size(), 2u);
+  EXPECT_EQ(b0.transactions[0].calls[0].kind,
+            eth::CallKind::kContractCall);
+  EXPECT_EQ(b0.transactions[0].calls[1].kind, eth::CallKind::kTransfer);
+  EXPECT_EQ(b0.transactions[0].calls[1].value_wei, 5u);
+}
+
+TEST(BigQueryImport, SkipsRewardAndMalformedRows) {
+  std::string csv = kTracesHeader;
+  csv += "1,1500000000,0x1," + addr(9) + "," + addr(8) + ",0,reward,\n";
+  csv += "1,1500000000,0x1,garbage," + addr(8) + ",0,call,\n";
+  csv += "1,not-a-time,0x1," + addr(9) + "," + addr(8) + ",0,call,\n";
+  csv += "1,1500000000,0x1," + addr(9) + "," + addr(8) + ",7,call,0x\n";
+  std::istringstream in(csv);
+  const ImportResult r = import_bigquery_traces(in);
+  EXPECT_EQ(r.stats.skipped_rows, 3u);
+  EXPECT_EQ(r.stats.imported_calls, 1u);
+  EXPECT_EQ(r.history.chain.transaction_count(), 1u);
+}
+
+TEST(BigQueryImport, UnixTimestampsAccepted) {
+  std::string csv = kTracesHeader;
+  csv += "10,1500000000,0x1," + addr(1) + "," + addr(2) + ",1,call,0x\n";
+  std::istringstream in(csv);
+  const ImportResult r = import_bigquery_traces(in);
+  ASSERT_EQ(r.history.chain.size(), 1u);
+  EXPECT_EQ(r.history.chain.block(0).timestamp, 1500000000);
+}
+
+TEST(BigQueryImport, HugeValuesClampInsteadOfOverflow) {
+  std::string csv = kTracesHeader;
+  csv += "10,1500000000,0x1," + addr(1) + "," + addr(2) +
+         ",999999999999999999999999999999,call,0x\n";
+  std::istringstream in(csv);
+  const ImportResult r = import_bigquery_traces(in);
+  EXPECT_EQ(r.history.chain.block(0).transactions[0].calls[0].value_wei,
+            ~std::uint64_t{0});
+}
+
+TEST(BigQueryImport, RejectsUnsortedBlocks) {
+  std::string csv = kTracesHeader;
+  csv += "10,1500000000,0x1," + addr(1) + "," + addr(2) + ",1,call,0x\n";
+  csv += "9,1500000000,0x2," + addr(1) + "," + addr(2) + ",1,call,0x\n";
+  std::istringstream in(csv);
+  EXPECT_THROW(import_bigquery_traces(in), util::CheckFailure);
+}
+
+TEST(BigQueryImport, RejectsMissingColumns) {
+  std::istringstream in("block_number,from_address\n1,0xab\n");
+  EXPECT_THROW(import_bigquery_traces(in), util::CheckFailure);
+}
+
+TEST(BigQueryImport, ImportedHistoryDrivesSimulatorPipeline) {
+  // End-to-end: a handcrafted real-schema snippet flows through trace
+  // round-trip just like synthetic data.
+  std::string csv = kTracesHeader;
+  for (int b = 0; b < 5; ++b)
+    for (int t = 0; t < 3; ++t)
+      csv += std::to_string(100 + b) + ",150000000" + std::to_string(b) +
+             ",0xt" + std::to_string(b * 3 + t) + "," + addr(t + 1) + "," +
+             addr(t + 2) + ",1,call,0x\n";
+  std::istringstream in(csv);
+  const ImportResult r = import_bigquery_traces(in);
+  EXPECT_EQ(r.stats.blocks, 5u);
+
+  std::stringstream buffer;
+  write_trace(buffer, r.history);
+  const History reread = read_trace(buffer);
+  EXPECT_EQ(reread.chain.transaction_count(),
+            r.history.chain.transaction_count());
+}
+
+TEST(TraceIo, EmptyTraceBody) {
+  std::istringstream in(
+      "block,timestamp,tx_index,call_index,from,to,kind,value\n");
+  const History h = read_trace(in);
+  EXPECT_TRUE(h.chain.empty());
+  EXPECT_EQ(h.accounts.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ethshard::workload

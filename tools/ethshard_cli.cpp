@@ -1,0 +1,482 @@
+// ethshard — command-line front end for the library.
+//
+//   ethshard generate --scale 0.002 --seed 1234 --out trace.csv
+//   ethshard stats    --trace trace.csv
+//   ethshard simulate --trace trace.csv --method R-METIS --shards 4
+//                     [--csv windows.csv]
+//   ethshard partition --trace trace.csv --method mlkp --shards 8
+//   ethshard dot      --trace trace.csv --from 2015-09-01 --to 2015-10-01
+//                     [--max-nodes 20]
+//
+// `--trace` may be omitted on every subcommand, in which case a synthetic
+// history is generated in-process (honouring --scale/--seed/--preset,
+// presets: paper, no-attack, ico-frenzy, uniform, transfers-only). This is the
+// workflow a user with the authors' published trace would follow: convert
+// it to the flat CSV schema (see workload/trace_io.hpp) and point any
+// subcommand at it.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/result_io.hpp"
+#include "core/simulator.hpp"
+#include "core/strategies.hpp"
+#include "graph/analysis.hpp"
+#include "graph/builder.hpp"
+#include "graph/dot.hpp"
+#include "metrics/summary.hpp"
+#include "partition/hash_partitioner.hpp"
+#include "partition/kernighan_lin.hpp"
+#include "partition/metis_io.hpp"
+#include "partition/mlkp.hpp"
+#include "partition/quality.hpp"
+#include "partition/spectral.hpp"
+#include "partition/streaming.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "workload/analysis.hpp"
+#include "workload/generator.hpp"
+#include "workload/import.hpp"
+#include "workload/presets.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace ethshard;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ethshard <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate   synthesize a history and write it as a CSV trace\n"
+      "             --scale F (0.002)  --seed N (1234)  --out PATH\n"
+      "             --preset NAME (paper|no-attack|ico-frenzy|uniform|\n"
+      "                            transfers-only)\n"
+      "  stats      history totals and monthly growth (Fig. 1 data)\n"
+      "             --trace PATH | --scale/--seed\n"
+      "  simulate   replay against a sharding method (Figs. 3-5 data)\n"
+      "             --method NAME (Hashing|KL|METIS|R-METIS|TR-METIS)\n"
+      "             --shards K (2)  [--csv PATH  per-window samples]\n"
+      "  partition  one-shot partition of the final graph, all methods\n"
+      "             --shards K (2)  [--method NAME  single method]\n"
+      "  dot        Graphviz subgraph export (Fig. 2 style)\n"
+      "             --from YYYY-MM-DD --to YYYY-MM-DD  --max-nodes N (20)\n"
+      "  import     convert a BigQuery crypto_ethereum.traces CSV export\n"
+      "             into the native trace format\n"
+      "             --traces PATH --out PATH\n"
+      "  metis-export  write the final graph in METIS .graph format\n"
+      "             --out PATH   (then: gpmetis PATH <k>)\n"
+      "  metis-eval evaluate a METIS .part file on our metrics\n"
+      "             --part PATH --shards K\n"
+      "  compare    the full method x shard-count grid in one table\n"
+      "             --shards LIST (2,4,8)  [--gas  gas-based load]\n");
+  return 2;
+}
+
+util::Timestamp parse_date(const std::string& s) {
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  ETHSHARD_CHECK_MSG(std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) == 3,
+                     "bad date '" << s << "' (want YYYY-MM-DD)");
+  return util::make_timestamp(y, m, d);
+}
+
+workload::History load_history(const util::ArgParser& args) {
+  const std::string trace = args.get("trace", "");
+  if (!trace.empty()) return workload::read_trace_file(trace);
+  const workload::Preset preset =
+      workload::preset_from_name(args.get("preset", "paper"));
+  const workload::GeneratorConfig cfg = workload::preset_config(
+      preset, args.get_double("scale", 0.002), args.get_uint("seed", 1234));
+  std::fprintf(stderr, "[ethshard] generating synthetic history "
+                       "preset=%s scale=%g seed=%llu\n",
+               workload::preset_name(preset).c_str(), cfg.scale,
+               static_cast<unsigned long long>(cfg.seed));
+  return workload::EthereumHistoryGenerator(cfg).generate();
+}
+
+core::Method method_from_name(const std::string& name) {
+  for (core::Method m : core::kAllMethods)
+    if (core::method_name(m) == name) return m;
+  ETHSHARD_CHECK_MSG(false, "unknown method '"
+                                << name
+                                << "' (want Hashing|KL|METIS|R-METIS|"
+                                   "TR-METIS)");
+  return core::Method::kHashing;
+}
+
+int cmd_generate(const util::ArgParser& args) {
+  const std::string out = args.get("out", "");
+  ETHSHARD_CHECK_MSG(!out.empty(), "generate requires --out PATH");
+  const workload::History history = load_history(args);
+  workload::write_trace_file(out, history);
+  const workload::HistoryStats st = workload::stats_of(history);
+  std::printf("wrote %s: %llu blocks, %llu txs, %llu calls, %llu accounts "
+              "(%llu contracts)\n",
+              out.c_str(), static_cast<unsigned long long>(st.blocks),
+              static_cast<unsigned long long>(st.transactions),
+              static_cast<unsigned long long>(st.calls),
+              static_cast<unsigned long long>(st.accounts + st.contracts),
+              static_cast<unsigned long long>(st.contracts));
+  return 0;
+}
+
+int cmd_stats(const util::ArgParser& args) {
+  const workload::History history = load_history(args);
+  const workload::HistoryStats st = workload::stats_of(history);
+  std::printf("blocks        %12llu\n",
+              static_cast<unsigned long long>(st.blocks));
+  std::printf("transactions  %12llu\n",
+              static_cast<unsigned long long>(st.transactions));
+  std::printf("calls         %12llu\n",
+              static_cast<unsigned long long>(st.calls));
+  std::printf("accounts      %12llu\n",
+              static_cast<unsigned long long>(st.accounts));
+  std::printf("contracts     %12llu\n",
+              static_cast<unsigned long long>(st.contracts));
+  if (history.chain.empty()) return 0;
+
+  std::printf("\n%-8s %12s %12s\n", "month", "vertices", "edges");
+  graph::GraphBuilder builder;
+  std::vector<bool> seen;
+  std::uint64_t vertices = 0;
+  util::Timestamp month_end =
+      util::add_months(history.chain.blocks().front().timestamp, 1);
+  auto emit = [&](util::Timestamp month) {
+    std::printf("%-8s %12llu %12llu\n", util::month_label(month).c_str(),
+                static_cast<unsigned long long>(vertices),
+                static_cast<unsigned long long>(builder.num_edges()));
+  };
+  for (const eth::Block& b : history.chain.blocks()) {
+    while (b.timestamp >= month_end) {
+      emit(util::add_months(month_end, -1));
+      month_end = util::add_months(month_end, 1);
+    }
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        for (graph::Vertex v : {c.from, c.to}) {
+          if (seen.size() <= v) seen.resize(v + 1, false);
+          if (!seen[v]) {
+            seen[v] = true;
+            ++vertices;
+          }
+          builder.ensure_vertices(v + 1, 1);
+        }
+        builder.add_edge(c.from, c.to, 1);
+      }
+  }
+  emit(util::add_months(month_end, -1));
+
+  // Structural summary of the final graph.
+  const graph::Graph g = builder.build_undirected();
+  const graph::Components comps = graph::connected_components(g);
+  const graph::DegreeStats deg = graph::degree_statistics(g);
+  std::printf("\nfinal graph: %llu components, largest %llu (%.1f%% of "
+              "vertices)\n",
+              static_cast<unsigned long long>(comps.count()),
+              static_cast<unsigned long long>(comps.largest()),
+              g.num_vertices() == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(comps.largest()) /
+                        static_cast<double>(g.num_vertices()));
+  std::printf("degrees: min %llu, median %.1f, mean %.2f, max %llu "
+              "(vertex %llu), %llu isolated\n",
+              static_cast<unsigned long long>(deg.min_degree),
+              deg.median_degree, deg.mean_degree,
+              static_cast<unsigned long long>(deg.max_degree),
+              static_cast<unsigned long long>(deg.max_degree_vertex),
+              static_cast<unsigned long long>(deg.isolated));
+
+  const workload::WorkloadReport report =
+      workload::analyze_workload(history);
+  auto print_phase = [](const char* label,
+                        const workload::PhaseStats& p) {
+    std::printf("%-12s %10llu blocks %10llu txs %10llu calls %10llu "
+                "new accounts\n",
+                label, static_cast<unsigned long long>(p.blocks),
+                static_cast<unsigned long long>(p.transactions),
+                static_cast<unsigned long long>(p.calls),
+                static_cast<unsigned long long>(p.new_accounts));
+  };
+  std::printf("\nphases:\n");
+  print_phase("pre-attack", report.pre_attack);
+  print_phase("attack", report.attack);
+  print_phase("post-attack", report.post_attack);
+  std::printf("activity gini %.3f, top-1%% share %.3f, single-touch "
+              "vertices %llu/%llu\n",
+              report.activity_gini, report.top1pct_share,
+              static_cast<unsigned long long>(report.single_touch_vertices),
+              static_cast<unsigned long long>(report.total_vertices));
+  return 0;
+}
+
+int cmd_simulate(const util::ArgParser& args) {
+  const workload::History history = load_history(args);
+  const core::Method method =
+      method_from_name(args.get("method", "R-METIS"));
+  const auto k = static_cast<std::uint32_t>(args.get_uint("shards", 2));
+
+  const auto strategy = core::make_strategy(method, args.get_uint("seed", 7));
+  core::SimulatorConfig cfg;
+  cfg.k = k;
+  core::ShardingSimulator sim(history, *strategy, cfg);
+  const core::SimulationResult r = sim.run();
+
+  std::vector<double> cuts;
+  std::vector<double> bals;
+  for (const core::WindowSample& w : r.windows) {
+    cuts.push_back(w.dynamic_edge_cut);
+    bals.push_back(w.dynamic_balance);
+  }
+  std::printf("method            %s\n", r.strategy_name.c_str());
+  std::printf("shards            %u\n", r.k);
+  std::printf("windows           %zu\n", r.windows.size());
+  std::printf("dyn edge-cut      %s\n",
+              metrics::to_string(metrics::summarize(cuts)).c_str());
+  std::printf("dyn balance       %s\n",
+              metrics::to_string(metrics::summarize(bals)).c_str());
+  std::printf("static edge-cut   %.4f\n", r.final_static_edge_cut);
+  std::printf("static balance    %.4f\n", r.final_static_balance);
+  std::printf("executed cross    %.4f\n", r.executed_cross_shard_fraction);
+  std::printf("repartitions      %zu\n", r.repartitions.size());
+  std::printf("moves             %llu\n",
+              static_cast<unsigned long long>(r.total_moves));
+  std::printf("moved state units %llu\n",
+              static_cast<unsigned long long>(r.total_moved_state_units));
+
+  const std::string csv_path = args.get("csv", "");
+  if (!csv_path.empty()) {
+    core::write_windows_csv_file(csv_path, r);
+    std::printf("window samples    -> %s\n", csv_path.c_str());
+  }
+  const std::string events_path = args.get("events-csv", "");
+  if (!events_path.empty()) {
+    core::write_repartitions_csv_file(events_path, r);
+    std::printf("repartitions      -> %s\n", events_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_partition(const util::ArgParser& args) {
+  const workload::History history = load_history(args);
+  const auto k = static_cast<std::uint32_t>(args.get_uint("shards", 2));
+  const std::string only = args.get("method", "");
+
+  // Build the final cumulative graph (§II-B).
+  graph::GraphBuilder builder;
+  for (const eth::Block& b : history.chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        builder.ensure_vertices(std::max(c.from, c.to) + 1, 1);
+        builder.add_edge(c.from, c.to, 1);
+      }
+  const graph::Graph g = builder.build_undirected();
+  std::printf("graph: %llu vertices, %llu edges\n",
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  std::vector<std::unique_ptr<partition::Partitioner>> methods;
+  methods.push_back(std::make_unique<partition::HashPartitioner>());
+  methods.push_back(std::make_unique<partition::KernighanLinPartitioner>());
+  methods.push_back(std::make_unique<partition::MlkpPartitioner>());
+  methods.push_back(std::make_unique<partition::SpectralPartitioner>());
+  methods.push_back(std::make_unique<partition::LdgPartitioner>());
+  methods.push_back(std::make_unique<partition::FennelPartitioner>());
+
+  std::printf("%-10s %10s %10s %12s %10s %12s\n", "method", "edgeCut",
+              "balance", "dynEdgeCut", "boundary", "commVolume");
+  for (const auto& m : methods) {
+    if (!only.empty() && m->name() != only) continue;
+    const partition::Partition p = m->partition(g, k);
+    const partition::QualityReport q = partition::evaluate_partition(g, p);
+    std::printf("%-10s %10.4f %10.4f %12.4f %10llu %12llu\n",
+                m->name().c_str(), q.edge_cut_fraction, q.balance,
+                q.weighted_cut_fraction,
+                static_cast<unsigned long long>(q.boundary_vertices),
+                static_cast<unsigned long long>(q.communication_volume));
+  }
+  return 0;
+}
+
+int cmd_dot(const util::ArgParser& args) {
+  const workload::History history = load_history(args);
+  const util::Timestamp from =
+      parse_date(args.get("from", "2015-09-01"));
+  const util::Timestamp to = parse_date(args.get("to", "2015-10-01"));
+  const std::uint64_t max_nodes = args.get_uint("max-nodes", 20);
+  ETHSHARD_CHECK_MSG(from < to, "--from must precede --to");
+
+  graph::GraphBuilder builder;
+  for (const eth::Block& b : history.chain.blocks()) {
+    if (b.timestamp < from || b.timestamp >= to) continue;
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        builder.ensure_vertices(std::max(c.from, c.to) + 1, 1);
+        builder.add_edge(c.from, c.to, 1);
+      }
+  }
+  const graph::Graph g = builder.build_directed();
+  ETHSHARD_CHECK_MSG(g.num_edges() > 0, "no interactions in window");
+
+  graph::Vertex hub = 0;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    if (g.degree(v) > g.degree(hub)) hub = v;
+
+  std::vector<graph::Vertex> selection = {hub};
+  std::vector<bool> chosen(g.num_vertices(), false);
+  chosen[hub] = true;
+  for (std::size_t i = 0;
+       i < selection.size() && selection.size() < max_nodes; ++i)
+    for (const graph::Arc& a : g.neighbors(selection[i]))
+      if (selection.size() < max_nodes && !chosen[a.to]) {
+        chosen[a.to] = true;
+        selection.push_back(a.to);
+      }
+
+  const graph::Graph sub = g.induced_subgraph(selection);
+  graph::DotOptions opts;
+  opts.name = "ethshard_subgraph";
+  opts.is_contract = [&](graph::Vertex local) {
+    const graph::Vertex global = selection[local];
+    return history.accounts.contains(global) &&
+           history.accounts.info(global).kind ==
+               eth::AccountKind::kContract;
+  };
+  opts.label = [&](graph::Vertex local) {
+    return std::to_string(selection[local]);
+  };
+  graph::write_dot(std::cout, sub, opts);
+  return 0;
+}
+
+graph::Graph final_graph(const workload::History& history) {
+  graph::GraphBuilder builder;
+  for (const eth::Block& b : history.chain.blocks())
+    for (const eth::Transaction& tx : b.transactions)
+      for (const eth::Call& c : tx.calls) {
+        builder.ensure_vertices(std::max(c.from, c.to) + 1, 1);
+        builder.add_edge(c.from, c.to, 1);
+      }
+  return builder.build_undirected();
+}
+
+int cmd_metis_export(const util::ArgParser& args) {
+  const std::string out_path = args.get("out", "");
+  ETHSHARD_CHECK_MSG(!out_path.empty(), "metis-export requires --out PATH");
+  const workload::History history = load_history(args);
+  const graph::Graph g = final_graph(history);
+  std::ofstream out(out_path);
+  ETHSHARD_CHECK_MSG(out.good(), "cannot open " << out_path);
+  partition::write_metis_graph(out, g);
+  std::printf("wrote %s: %llu vertices, %llu edges (run: gpmetis %s <k>)\n",
+              out_path.c_str(),
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_metis_eval(const util::ArgParser& args) {
+  const std::string part_path = args.get("part", "");
+  ETHSHARD_CHECK_MSG(!part_path.empty(), "metis-eval requires --part PATH");
+  const auto k = static_cast<std::uint32_t>(args.get_uint("shards", 2));
+  const workload::History history = load_history(args);
+  const graph::Graph g = final_graph(history);
+
+  std::ifstream in(part_path);
+  ETHSHARD_CHECK_MSG(in.good(), "cannot open " << part_path);
+  const partition::Partition p =
+      partition::read_metis_partition(in, g.num_vertices(), k);
+  std::fputs(partition::to_string(
+                 partition::evaluate_partition(g, p)).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_compare(const util::ArgParser& args) {
+  const workload::History history = load_history(args);
+  core::ExperimentConfig cfg;
+  cfg.seed = args.get_uint("seed", 7);
+  if (args.get_bool("gas", false)) cfg.load_model = core::LoadModel::kGas;
+
+  const std::string shards = args.get("shards", "2,4,8");
+  cfg.shard_counts.clear();
+  std::stringstream ss(shards);
+  std::string token;
+  while (std::getline(ss, token, ','))
+    cfg.shard_counts.push_back(
+        static_cast<std::uint32_t>(std::stoul(token)));
+  ETHSHARD_CHECK_MSG(!cfg.shard_counts.empty(), "empty --shards list");
+
+  const auto runs = core::run_experiment(history, cfg);
+  std::fputs(core::comparison_table(runs).c_str(), stdout);
+  std::printf("\nspeedup = modelled throughput vs an unsharded node "
+              "(cross-shard interaction costs 3x).\n");
+  return 0;
+}
+
+int cmd_import(const util::ArgParser& args) {
+  const std::string traces = args.get("traces", "");
+  const std::string out = args.get("out", "");
+  ETHSHARD_CHECK_MSG(!traces.empty() && !out.empty(),
+                     "import requires --traces PATH and --out PATH");
+  const workload::ImportResult r =
+      workload::import_bigquery_traces_file(traces);
+  workload::write_trace_file(out, r.history);
+  std::printf("imported %llu calls (%llu rows, %llu skipped) into %llu "
+              "blocks / %llu txs, %llu accounts -> %s\n",
+              static_cast<unsigned long long>(r.stats.imported_calls),
+              static_cast<unsigned long long>(r.stats.rows),
+              static_cast<unsigned long long>(r.stats.skipped_rows),
+              static_cast<unsigned long long>(r.stats.blocks),
+              static_cast<unsigned long long>(r.stats.transactions),
+              static_cast<unsigned long long>(r.stats.accounts),
+              out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  util::ArgParser args(argc - 2, argv + 2);
+
+  try {
+    int rc;
+    if (command == "generate") {
+      rc = cmd_generate(args);
+    } else if (command == "stats") {
+      rc = cmd_stats(args);
+    } else if (command == "simulate") {
+      rc = cmd_simulate(args);
+    } else if (command == "partition") {
+      rc = cmd_partition(args);
+    } else if (command == "dot") {
+      rc = cmd_dot(args);
+    } else if (command == "import") {
+      rc = cmd_import(args);
+    } else if (command == "metis-export") {
+      rc = cmd_metis_export(args);
+    } else if (command == "metis-eval") {
+      rc = cmd_metis_eval(args);
+    } else if (command == "compare") {
+      rc = cmd_compare(args);
+    } else {
+      return usage();
+    }
+    for (const std::string& flag : args.unused())
+      std::fprintf(stderr, "[ethshard] warning: unused flag --%s\n",
+                   flag.c_str());
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[ethshard] error: %s\n", e.what());
+    return 1;
+  }
+}
