@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counterfactual.dir/ablation_counterfactual.cpp.o"
+  "CMakeFiles/ablation_counterfactual.dir/ablation_counterfactual.cpp.o.d"
+  "ablation_counterfactual"
+  "ablation_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seed_variance.dir/ablation_seed_variance.cpp.o"
+  "CMakeFiles/ablation_seed_variance.dir/ablation_seed_variance.cpp.o.d"
+  "ablation_seed_variance"
+  "ablation_seed_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seed_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

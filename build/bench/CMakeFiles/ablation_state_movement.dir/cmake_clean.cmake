@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_state_movement.dir/ablation_state_movement.cpp.o"
+  "CMakeFiles/ablation_state_movement.dir/ablation_state_movement.cpp.o.d"
+  "ablation_state_movement"
+  "ablation_state_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_state_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

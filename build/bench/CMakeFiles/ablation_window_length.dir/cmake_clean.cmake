@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_length.dir/ablation_window_length.cpp.o"
+  "CMakeFiles/ablation_window_length.dir/ablation_window_length.cpp.o.d"
+  "ablation_window_length"
+  "ablation_window_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_graph_evolution.dir/fig1_graph_evolution.cpp.o"
+  "CMakeFiles/fig1_graph_evolution.dir/fig1_graph_evolution.cpp.o.d"
+  "fig1_graph_evolution"
+  "fig1_graph_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_graph_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

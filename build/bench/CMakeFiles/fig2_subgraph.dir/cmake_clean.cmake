@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_subgraph.dir/fig2_subgraph.cpp.o"
+  "CMakeFiles/fig2_subgraph.dir/fig2_subgraph.cpp.o.d"
+  "fig2_subgraph"
+  "fig2_subgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

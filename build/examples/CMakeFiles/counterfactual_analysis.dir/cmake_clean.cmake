@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfactual_analysis.dir/counterfactual_analysis.cpp.o"
+  "CMakeFiles/counterfactual_analysis.dir/counterfactual_analysis.cpp.o.d"
+  "counterfactual_analysis"
+  "counterfactual_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfactual_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

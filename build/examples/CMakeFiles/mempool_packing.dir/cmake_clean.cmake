@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mempool_packing.dir/mempool_packing.cpp.o"
+  "CMakeFiles/mempool_packing.dir/mempool_packing.cpp.o.d"
+  "mempool_packing"
+  "mempool_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mempool_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

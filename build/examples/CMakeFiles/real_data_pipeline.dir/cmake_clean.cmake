@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_data_pipeline.dir/real_data_pipeline.cpp.o"
+  "CMakeFiles/real_data_pipeline.dir/real_data_pipeline.cpp.o.d"
+  "real_data_pipeline"
+  "real_data_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_data_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

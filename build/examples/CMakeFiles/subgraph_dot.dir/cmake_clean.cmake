@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_dot.dir/subgraph_dot.cpp.o"
+  "CMakeFiles/subgraph_dot.dir/subgraph_dot.cpp.o.d"
+  "subgraph_dot"
+  "subgraph_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/ethshard_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/ethshard_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/ethshard_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/ethshard_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/result_io.cpp" "src/core/CMakeFiles/ethshard_core.dir/result_io.cpp.o" "gcc" "src/core/CMakeFiles/ethshard_core.dir/result_io.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/ethshard_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/ethshard_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/strategies.cpp" "src/core/CMakeFiles/ethshard_core.dir/strategies.cpp.o" "gcc" "src/core/CMakeFiles/ethshard_core.dir/strategies.cpp.o.d"
+  "/root/repo/src/core/throughput.cpp" "src/core/CMakeFiles/ethshard_core.dir/throughput.cpp.o" "gcc" "src/core/CMakeFiles/ethshard_core.dir/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ethshard_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ethshard_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ethshard_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ethshard_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethshard_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ethshard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

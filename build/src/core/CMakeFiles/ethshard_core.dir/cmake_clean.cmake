@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_core.dir/experiment.cpp.o"
+  "CMakeFiles/ethshard_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/ethshard_core.dir/placement.cpp.o"
+  "CMakeFiles/ethshard_core.dir/placement.cpp.o.d"
+  "CMakeFiles/ethshard_core.dir/result_io.cpp.o"
+  "CMakeFiles/ethshard_core.dir/result_io.cpp.o.d"
+  "CMakeFiles/ethshard_core.dir/simulator.cpp.o"
+  "CMakeFiles/ethshard_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/ethshard_core.dir/strategies.cpp.o"
+  "CMakeFiles/ethshard_core.dir/strategies.cpp.o.d"
+  "CMakeFiles/ethshard_core.dir/throughput.cpp.o"
+  "CMakeFiles/ethshard_core.dir/throughput.cpp.o.d"
+  "libethshard_core.a"
+  "libethshard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eth/address.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/address.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/address.cpp.o.d"
+  "/root/repo/src/eth/block.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/block.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/block.cpp.o.d"
+  "/root/repo/src/eth/bloom.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/bloom.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/bloom.cpp.o.d"
+  "/root/repo/src/eth/chain.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/chain.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/chain.cpp.o.d"
+  "/root/repo/src/eth/difficulty.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/difficulty.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/difficulty.cpp.o.d"
+  "/root/repo/src/eth/fork_choice.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/fork_choice.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/fork_choice.cpp.o.d"
+  "/root/repo/src/eth/gas.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/gas.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/gas.cpp.o.d"
+  "/root/repo/src/eth/keccak.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/keccak.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/keccak.cpp.o.d"
+  "/root/repo/src/eth/mempool.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/mempool.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/mempool.cpp.o.d"
+  "/root/repo/src/eth/merkle.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/merkle.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/merkle.cpp.o.d"
+  "/root/repo/src/eth/pow.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/pow.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/pow.cpp.o.d"
+  "/root/repo/src/eth/rlp.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/rlp.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/rlp.cpp.o.d"
+  "/root/repo/src/eth/state.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/state.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/state.cpp.o.d"
+  "/root/repo/src/eth/transaction.cpp" "src/eth/CMakeFiles/ethshard_eth.dir/transaction.cpp.o" "gcc" "src/eth/CMakeFiles/ethshard_eth.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ethshard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_eth.dir/address.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/address.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/block.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/block.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/bloom.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/bloom.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/chain.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/chain.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/difficulty.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/difficulty.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/fork_choice.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/fork_choice.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/gas.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/gas.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/keccak.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/keccak.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/mempool.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/mempool.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/merkle.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/merkle.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/pow.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/pow.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/rlp.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/rlp.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/state.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/state.cpp.o.d"
+  "CMakeFiles/ethshard_eth.dir/transaction.cpp.o"
+  "CMakeFiles/ethshard_eth.dir/transaction.cpp.o.d"
+  "libethshard_eth.a"
+  "libethshard_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

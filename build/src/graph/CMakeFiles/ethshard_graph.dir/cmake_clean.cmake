@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_graph.dir/analysis.cpp.o"
+  "CMakeFiles/ethshard_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/ethshard_graph.dir/builder.cpp.o"
+  "CMakeFiles/ethshard_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/ethshard_graph.dir/dot.cpp.o"
+  "CMakeFiles/ethshard_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/ethshard_graph.dir/generators.cpp.o"
+  "CMakeFiles/ethshard_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ethshard_graph.dir/graph.cpp.o"
+  "CMakeFiles/ethshard_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ethshard_graph.dir/serialize.cpp.o"
+  "CMakeFiles/ethshard_graph.dir/serialize.cpp.o.d"
+  "libethshard_graph.a"
+  "libethshard_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libethshard_graph.a"
+)

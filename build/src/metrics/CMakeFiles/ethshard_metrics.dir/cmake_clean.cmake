@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/ethshard_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/ethshard_metrics.dir/summary.cpp.o"
+  "CMakeFiles/ethshard_metrics.dir/summary.cpp.o.d"
+  "CMakeFiles/ethshard_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/ethshard_metrics.dir/timeseries.cpp.o.d"
+  "libethshard_metrics.a"
+  "libethshard_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/blp.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/blp.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/blp.cpp.o.d"
+  "/root/repo/src/partition/coarsen.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/coarsen.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/coarsen.cpp.o.d"
+  "/root/repo/src/partition/ensemble.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/ensemble.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/ensemble.cpp.o.d"
+  "/root/repo/src/partition/fm.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/fm.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/fm.cpp.o.d"
+  "/root/repo/src/partition/hash_partitioner.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/hash_partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/hash_partitioner.cpp.o.d"
+  "/root/repo/src/partition/initial_bisection.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/initial_bisection.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/initial_bisection.cpp.o.d"
+  "/root/repo/src/partition/kernighan_lin.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/kernighan_lin.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/kernighan_lin.cpp.o.d"
+  "/root/repo/src/partition/kway_refine.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/kway_refine.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/kway_refine.cpp.o.d"
+  "/root/repo/src/partition/metis_io.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/metis_io.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/metis_io.cpp.o.d"
+  "/root/repo/src/partition/mlkp.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/mlkp.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/mlkp.cpp.o.d"
+  "/root/repo/src/partition/quality.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/quality.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/quality.cpp.o.d"
+  "/root/repo/src/partition/recursive_bisection.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/recursive_bisection.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/recursive_bisection.cpp.o.d"
+  "/root/repo/src/partition/spectral.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/spectral.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/spectral.cpp.o.d"
+  "/root/repo/src/partition/streaming.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/streaming.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/streaming.cpp.o.d"
+  "/root/repo/src/partition/types.cpp" "src/partition/CMakeFiles/ethshard_partition.dir/types.cpp.o" "gcc" "src/partition/CMakeFiles/ethshard_partition.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ethshard_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ethshard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

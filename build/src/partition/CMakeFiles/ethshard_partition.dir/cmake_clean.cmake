@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_partition.dir/blp.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/blp.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/coarsen.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/coarsen.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/ensemble.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/ensemble.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/fm.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/fm.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/hash_partitioner.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/hash_partitioner.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/initial_bisection.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/initial_bisection.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/kernighan_lin.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/kernighan_lin.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/kway_refine.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/kway_refine.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/metis_io.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/metis_io.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/mlkp.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/mlkp.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/quality.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/quality.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/recursive_bisection.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/recursive_bisection.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/spectral.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/spectral.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/streaming.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/streaming.cpp.o.d"
+  "CMakeFiles/ethshard_partition.dir/types.cpp.o"
+  "CMakeFiles/ethshard_partition.dir/types.cpp.o.d"
+  "libethshard_partition.a"
+  "libethshard_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_util.dir/args.cpp.o"
+  "CMakeFiles/ethshard_util.dir/args.cpp.o.d"
+  "CMakeFiles/ethshard_util.dir/csv.cpp.o"
+  "CMakeFiles/ethshard_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ethshard_util.dir/hash.cpp.o"
+  "CMakeFiles/ethshard_util.dir/hash.cpp.o.d"
+  "CMakeFiles/ethshard_util.dir/parallel.cpp.o"
+  "CMakeFiles/ethshard_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/ethshard_util.dir/rng.cpp.o"
+  "CMakeFiles/ethshard_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ethshard_util.dir/sim_time.cpp.o"
+  "CMakeFiles/ethshard_util.dir/sim_time.cpp.o.d"
+  "libethshard_util.a"
+  "libethshard_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

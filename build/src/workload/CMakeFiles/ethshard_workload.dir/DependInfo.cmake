@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cpp" "src/workload/CMakeFiles/ethshard_workload.dir/analysis.cpp.o" "gcc" "src/workload/CMakeFiles/ethshard_workload.dir/analysis.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/ethshard_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/ethshard_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/growth_model.cpp" "src/workload/CMakeFiles/ethshard_workload.dir/growth_model.cpp.o" "gcc" "src/workload/CMakeFiles/ethshard_workload.dir/growth_model.cpp.o.d"
+  "/root/repo/src/workload/import.cpp" "src/workload/CMakeFiles/ethshard_workload.dir/import.cpp.o" "gcc" "src/workload/CMakeFiles/ethshard_workload.dir/import.cpp.o.d"
+  "/root/repo/src/workload/presets.cpp" "src/workload/CMakeFiles/ethshard_workload.dir/presets.cpp.o" "gcc" "src/workload/CMakeFiles/ethshard_workload.dir/presets.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/ethshard_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/ethshard_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eth/CMakeFiles/ethshard_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ethshard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

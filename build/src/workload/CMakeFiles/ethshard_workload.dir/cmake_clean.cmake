@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_workload.dir/analysis.cpp.o"
+  "CMakeFiles/ethshard_workload.dir/analysis.cpp.o.d"
+  "CMakeFiles/ethshard_workload.dir/generator.cpp.o"
+  "CMakeFiles/ethshard_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ethshard_workload.dir/growth_model.cpp.o"
+  "CMakeFiles/ethshard_workload.dir/growth_model.cpp.o.d"
+  "CMakeFiles/ethshard_workload.dir/import.cpp.o"
+  "CMakeFiles/ethshard_workload.dir/import.cpp.o.d"
+  "CMakeFiles/ethshard_workload.dir/presets.cpp.o"
+  "CMakeFiles/ethshard_workload.dir/presets.cpp.o.d"
+  "CMakeFiles/ethshard_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/ethshard_workload.dir/trace_io.cpp.o.d"
+  "libethshard_workload.a"
+  "libethshard_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/test_integration.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ethshard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ethshard_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ethshard_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ethshard_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ethshard_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/ethshard_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ethshard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state.dir/state_test.cpp.o"
+  "CMakeFiles/test_state.dir/state_test.cpp.o.d"
+  "test_state"
+  "test_state.pdb"
+  "test_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

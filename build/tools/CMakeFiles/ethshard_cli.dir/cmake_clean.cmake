@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ethshard_cli.dir/ethshard_cli.cpp.o"
+  "CMakeFiles/ethshard_cli.dir/ethshard_cli.cpp.o.d"
+  "ethshard"
+  "ethshard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ethshard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
