@@ -14,6 +14,7 @@
 
 #include "core/simulator.hpp"
 #include "core/strategies.hpp"
+#include "core/strategy_registry.hpp"
 #include "metrics/summary.hpp"
 #include "workload/generator.hpp"
 
@@ -47,6 +48,18 @@ inline core::SimulationResult simulate(const workload::History& history,
                                        std::uint32_t k,
                                        std::uint64_t seed = 7) {
   const auto strategy = core::make_strategy(method, seed);
+  core::SimulatorConfig cfg;
+  cfg.k = k;
+  core::ShardingSimulator sim(history, *strategy, cfg);
+  return sim.run();
+}
+
+/// Spec-string variant (see core/strategy_registry.hpp for the grammar).
+inline core::SimulationResult simulate(const workload::History& history,
+                                       const std::string& spec,
+                                       std::uint32_t k,
+                                       std::uint64_t seed = 7) {
+  const auto strategy = core::StrategyRegistry::global().make(spec, seed);
   core::SimulatorConfig cfg;
   cfg.k = k;
   core::ShardingSimulator sim(history, *strategy, cfg);

@@ -35,11 +35,11 @@ const Period kPeriods[] = {
 
 void print_metric_block(
     const char* metric,
-    const std::vector<std::pair<core::Method, core::SimulationResult>>& runs,
+    const std::vector<core::SimulationResult>& runs,
     double (*extract)(const core::WindowSample&)) {
   std::printf("\n  %s (min / q1 / median / q3 / max per period)\n", metric);
-  for (const auto& [method, result] : runs) {
-    std::printf("    %-9s", core::method_name(method).c_str());
+  for (const auto& result : runs) {
+    std::printf("    %-9s", result.strategy_name.c_str());
     for (const Period& p : kPeriods) {
       std::vector<double> vals;
       for (const core::WindowSample& w :
@@ -67,14 +67,13 @@ int main() {
     bench::print_header("Fig. 4 — five methods, k=" + std::to_string(k) +
                         ", 2017 periods");
 
-    const std::vector<core::Method> methods(std::begin(core::kAllMethods),
-                                            std::end(core::kAllMethods));
-    const auto results = util::parallel_map(
-        methods,
-        [&](core::Method m) { return bench::simulate(history, m, k); });
-    std::vector<std::pair<core::Method, core::SimulationResult>> runs;
-    for (std::size_t i = 0; i < methods.size(); ++i)
-      runs.emplace_back(methods[i], results[i]);
+    // The paper's five methods as registry specs, in figure order
+    // ("p-metis" is the figures' name for R-METIS).
+    const std::vector<std::string> specs = {"hashing", "kl", "metis",
+                                            "p-metis", "tr-metis"};
+    const auto runs = util::parallel_map(
+        specs,
+        [&](const std::string& s) { return bench::simulate(history, s, k); });
 
     print_metric_block("Dynamic edge-cut", runs,
                        [](const core::WindowSample& w) {
@@ -86,8 +85,8 @@ int main() {
                        });
 
     std::printf("\n  Moves per period (and total)\n");
-    for (const auto& [method, result] : runs) {
-      std::printf("    %-9s", core::method_name(method).c_str());
+    for (const auto& result : runs) {
+      std::printf("    %-9s", result.strategy_name.c_str());
       for (const Period& p : kPeriods)
         std::printf("  %12llu",
                     static_cast<unsigned long long>(

@@ -11,6 +11,7 @@
 #include "core/strategies.hpp"
 #include "core/throughput.hpp"
 #include "metrics/summary.hpp"
+#include "obs/registry.hpp"
 
 namespace ethshard::core {
 
@@ -22,6 +23,11 @@ struct ExperimentConfig {
   LoadModel load_model = LoadModel::kCalls;
   /// Worker threads for the grid (0 = hardware concurrency).
   std::size_t threads = 0;
+
+  /// Human-readable configuration problems, empty when the config is
+  /// runnable. run_experiment calls this up front so a bad grid fails
+  /// with an actionable message instead of deep inside a worker thread.
+  std::vector<std::string> validate() const;
 };
 
 /// One grid cell: the raw simulation plus ready-to-print summaries.
@@ -34,6 +40,13 @@ struct ExperimentRun {
   /// Fig. 5's normalization of the balance median.
   double normalized_balance_median = 0;
   ThroughputSummary throughput;
+  /// Wall-clock cost of this cell (always measured).
+  double cell_wall_ms = 0;
+  /// Delay between grid start and this cell starting (queue wait).
+  double queue_wait_ms = 0;
+  /// This cell's observability snapshot (per-phase mlkp timings, window
+  /// counters, ...). Empty unless obs::set_enabled(true) was called.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Runs the full grid (methods × shard_counts), in parallel when the

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "eth/gas.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ethshard::core {
@@ -78,6 +79,7 @@ void ShardingSimulator::apply_migration(graph::Vertex v,
   ++result_.online_moves;
   result_.total_moved_state_units += state;
   result_.online_moved_state_units += state;
+  ETHSHARD_OBS_COUNT("sim/migrations", 1);
 }
 
 ShardingSimulator::ShardingSimulator(const workload::History& history,
@@ -110,6 +112,7 @@ void ShardingSimulator::place_vertex(
   ETHSHARD_CHECK(s < cfg_.k);
   part_.assign(v, s);
   ++shard_counts_[s];
+  ETHSHARD_OBS_COUNT("sim/placements", 1);
 }
 
 void ShardingSimulator::process_transaction(const eth::Transaction& tx) {
@@ -207,6 +210,7 @@ void ShardingSimulator::recompute_static_cut() {
 }
 
 void ShardingSimulator::flush_window(util::Timestamp window_end) {
+  ETHSHARD_OBS_TIMER("sim/flush_window_ms");
   if (static_cut_dirty_) {
     recompute_static_cut();
     static_cut_dirty_ = false;
@@ -225,7 +229,11 @@ void ShardingSimulator::flush_window(util::Timestamp window_end) {
 
   const bool record =
       !cfg_.skip_empty_windows || !window_metrics_.empty();
-  if (record) result_.windows.push_back(sample);
+  if (record) {
+    result_.windows.push_back(sample);
+    ETHSHARD_OBS_COUNT("sim/windows", 1);
+    ETHSHARD_OBS_COUNT("sim/window_interactions", sample.interactions);
+  }
 
   WindowSnapshot snapshot;
   snapshot.window_start = window_start_;
@@ -245,12 +253,14 @@ void ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
   Env env(*this);
   if (!strategy_.should_repartition(snapshot, env)) return;
 
+  ETHSHARD_OBS_SPAN("sim/repartition");
   const auto wall_start = std::chrono::steady_clock::now();
   partition::Partition next = strategy_.compute_partition(env);
   const double compute_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)
           .count();
+  ETHSHARD_OBS_RECORD_MS("sim/repartition_compute_ms", compute_ms);
   ETHSHARD_CHECK_MSG(next.size() == part_.size(),
                      "strategy returned wrong-sized partition");
   ETHSHARD_CHECK(next.k() == cfg_.k);
@@ -292,11 +302,14 @@ void ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
       snapshot.window_end, moves, moved_state, compute_ms});
   result_.total_moves += moves;
   result_.total_moved_state_units += moved_state;
+  ETHSHARD_OBS_COUNT("sim/repartitions", 1);
+  ETHSHARD_OBS_COUNT("sim/moves", moves);
 }
 
 SimulationResult ShardingSimulator::run() {
   ETHSHARD_CHECK_MSG(!ran_, "simulator is single-use");
   ran_ = true;
+  ETHSHARD_OBS_SPAN("sim/run");
 
   result_.strategy_name = strategy_.name();
   result_.k = cfg_.k;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/placement.hpp"
+#include "core/strategy_registry.hpp"
 #include "util/check.hpp"
 
 namespace ethshard::core {
@@ -218,36 +219,9 @@ void DsmStrategy::on_transaction(std::span<const graph::Vertex> involved,
 
 std::unique_ptr<ShardingStrategy> make_strategy(Method method,
                                                 std::uint64_t seed) {
-  switch (method) {
-    case Method::kHashing:
-      return std::make_unique<HashStrategy>(seed);
-    case Method::kKl: {
-      partition::BlpConfig blp;
-      blp.seed = seed;
-      return std::make_unique<KlStrategy>(util::kRepartitionPeriod, blp,
-                                          seed);
-    }
-    case Method::kMetis: {
-      partition::MlkpConfig cfg;
-      cfg.seed = seed;
-      return std::make_unique<FullGraphMlkpStrategy>(
-          util::kRepartitionPeriod, cfg);
-    }
-    case Method::kRMetis: {
-      partition::MlkpConfig cfg;
-      cfg.seed = seed;
-      return std::make_unique<WindowMlkpStrategy>(util::kRepartitionPeriod,
-                                                  cfg);
-    }
-    case Method::kTrMetis: {
-      partition::MlkpConfig cfg;
-      cfg.seed = seed;
-      return std::make_unique<ThresholdMlkpStrategy>(
-          ThresholdMlkpStrategy::Thresholds{}, cfg);
-    }
-  }
-  ETHSHARD_CHECK_MSG(false, "unknown method");
-  return nullptr;
+  // Thin wrapper over the string registry: a bare name resolves to the
+  // paper's defaults, which are exactly what this enum factory promised.
+  return StrategyRegistry::global().make(method_name(method), seed);
 }
 
 std::string method_name(Method method) {

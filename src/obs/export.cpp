@@ -1,0 +1,134 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace ethshard::obs {
+
+namespace {
+
+/// Metric names are code-controlled, but escape defensively so the output
+/// is always valid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out,
+                        const MetricsSnapshot& snapshot) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << v;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << json_double(v);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, t] : snapshot.timers) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << t.count
+        << ", \"total_ms\": " << json_double(t.total_ms)
+        << ", \"mean_ms\": " << json_double(t.mean_ms())
+        << ", \"min_ms\": " << json_double(t.min_ms)
+        << ", \"max_ms\": " << json_double(t.max_ms) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void write_metrics_csv(std::ostream& out,
+                       const MetricsSnapshot& snapshot) {
+  util::CsvWriter csv(out);
+  csv.write_row({"kind", "name", "count", "value", "min_ms", "max_ms"});
+  for (const auto& [name, v] : snapshot.counters) {
+    csv.field("counter").field(name).field(v).field(std::uint64_t{0});
+    csv.field(0.0).field(0.0);
+    csv.end_row();
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    csv.field("gauge").field(name).field(std::uint64_t{0}).field(v);
+    csv.field(0.0).field(0.0);
+    csv.end_row();
+  }
+  for (const auto& [name, t] : snapshot.timers) {
+    csv.field("timer").field(name).field(t.count).field(t.total_ms);
+    csv.field(t.min_ms).field(t.max_ms);
+    csv.end_row();
+  }
+}
+
+void write_trace_json(std::ostream& out,
+                      const std::vector<SpanRecord>& spans) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": \""
+        << json_escape(s.path) << "\", \"ph\": \"X\", \"ts\": "
+        << json_double(s.start_ms * 1000.0)
+        << ", \"dur\": " << json_double(s.duration_ms * 1000.0)
+        << ", \"pid\": 0, \"tid\": " << s.thread << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n") << "]}\n";
+}
+
+void write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path);
+  write_metrics_json(out, snapshot);
+}
+
+void write_trace_json_file(const std::string& path,
+                           const std::vector<SpanRecord>& spans) {
+  std::ofstream out(path);
+  ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path);
+  write_trace_json(out, spans);
+}
+
+}  // namespace ethshard::obs

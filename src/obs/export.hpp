@@ -1,0 +1,35 @@
+// Serialization of observability data for external tooling.
+//
+// Metrics export as a single JSON object (or a flat CSV) that loads
+// directly into pandas / jq; traces export in the Chrome trace-event
+// format, viewable at chrome://tracing or in Perfetto.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ethshard::obs {
+
+/// {"counters": {...}, "gauges": {...}, "timers": {name: {count,
+/// total_ms, mean_ms, min_ms, max_ms}, ...}}
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Flat rows: kind,name,count,value_or_total_ms,min_ms,max_ms.
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Chrome trace-event JSON: {"traceEvents": [{"name", "ph": "X", "ts",
+/// "dur", "pid", "tid"}, ...]} with microsecond timestamps.
+void write_trace_json(std::ostream& out,
+                      const std::vector<SpanRecord>& spans);
+
+/// File conveniences; throw util::CheckFailure if the file cannot open.
+void write_metrics_json_file(const std::string& path,
+                             const MetricsSnapshot& snapshot);
+void write_trace_json_file(const std::string& path,
+                           const std::vector<SpanRecord>& spans);
+
+}  // namespace ethshard::obs

@@ -1,0 +1,35 @@
+#include "obs/obs.hpp"
+
+namespace ethshard::obs {
+
+namespace {
+
+Registry*& tl_current() {
+  thread_local Registry* current = nullptr;
+  return current;
+}
+
+}  // namespace
+
+Registry& current() {
+  Registry* r = tl_current();
+  return r != nullptr ? *r : Registry::global();
+}
+
+ScopedRegistry::ScopedRegistry(Registry& r) : prev_(tl_current()) {
+  tl_current() = &r;
+}
+
+ScopedRegistry::~ScopedRegistry() { tl_current() = prev_; }
+
+ScopedTimer::ScopedTimer(const char* name)
+    : name_(name), active_(enabled()) {
+  if (active_) start_ms_ = trace_now_ms();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  current().record_ms(name_, trace_now_ms() - start_ms_);
+}
+
+}  // namespace ethshard::obs

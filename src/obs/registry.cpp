@@ -1,0 +1,122 @@
+#include "obs/registry.hpp"
+
+#include <atomic>
+
+namespace ethshard::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void TimerStat::add(double ms) {
+  if (count == 0) {
+    min_ms = ms;
+    max_ms = ms;
+  } else {
+    if (ms < min_ms) min_ms = ms;
+    if (ms > max_ms) max_ms = ms;
+  }
+  ++count;
+  total_ms += ms;
+}
+
+void TimerStat::merge(const TimerStat& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min_ms < min_ms) min_ms = other.min_ms;
+  if (other.max_ms > max_ms) max_ms = other.max_ms;
+  count += other.count;
+  total_ms += other.total_ms;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, stat] : other.timers) timers[name].merge(stat);
+}
+
+Registry::Registry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+Registry::Sink& Registry::local_sink() {
+  // Cache keyed by the registry's never-reused id: a destroyed registry
+  // leaves a dead entry behind, but no new registry can ever match it.
+  thread_local std::unordered_map<std::uint64_t, Sink*> cache;
+  auto [it, fresh] = cache.try_emplace(id_, nullptr);
+  if (fresh) {
+    auto sink = std::make_unique<Sink>();
+    it->second = sink.get();
+    const std::lock_guard<std::mutex> lock(mu_);
+    sinks_.push_back(std::move(sink));
+  }
+  return *it->second;
+}
+
+void Registry::add_counter(std::string_view name, std::uint64_t delta) {
+  Sink& sink = local_sink();
+  const std::lock_guard<std::mutex> lock(sink.mu);
+  sink.counters[std::string(name)] += delta;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  Sink& sink = local_sink();
+  const std::lock_guard<std::mutex> lock(sink.mu);
+  sink.gauges[std::string(name)] = value;
+}
+
+void Registry::record_ms(std::string_view name, double ms) {
+  Sink& sink = local_sink();
+  const std::lock_guard<std::mutex> lock(sink.mu);
+  sink.timers[std::string(name)].add(ms);
+}
+
+void Registry::absorb(const MetricsSnapshot& snapshot) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  absorbed_.merge(snapshot);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out = absorbed_;
+  for (const auto& sink : sinks_) {
+    const std::lock_guard<std::mutex> sink_lock(sink->mu);
+    for (const auto& [name, v] : sink->counters) out.counters[name] += v;
+    for (const auto& [name, v] : sink->gauges) out.gauges[name] = v;
+    for (const auto& [name, stat] : sink->timers)
+      out.timers[name].merge(stat);
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  absorbed_ = MetricsSnapshot{};
+  for (const auto& sink : sinks_) {
+    const std::lock_guard<std::mutex> sink_lock(sink->mu);
+    sink->counters.clear();
+    sink->gauges.clear();
+    sink->timers.clear();
+  }
+}
+
+Registry& Registry::global() {
+  // Leaked so worker threads may flush metrics during static teardown.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+}  // namespace ethshard::obs

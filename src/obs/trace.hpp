@@ -1,0 +1,72 @@
+// Hierarchical trace spans for the simulation engine.
+//
+// A ScopedSpan marks one timed region; spans opened while another span is
+// live on the same thread nest under it, and the recorded name is the
+// '/'-joined path from the outermost span down ("simulate/mlkp/coarsen").
+// Completed spans land in a process-wide TraceBuffer exportable as a
+// Chrome trace-event JSON file (load at chrome://tracing or in Perfetto).
+//
+// Tracing has its own runtime switch (trace_enabled), independent of the
+// metrics switch: metrics are cheap aggregates, traces grow with every
+// span, so they stay off unless a sink was requested.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ethshard::obs {
+
+/// Runtime master switch for span recording (default off).
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// One completed span. Times are milliseconds since the process's trace
+/// epoch (the first clock query made by this module).
+struct SpanRecord {
+  std::string path;
+  double start_ms = 0;
+  double duration_ms = 0;
+  /// Small per-thread ordinal (0, 1, ...), stable within the process.
+  std::uint32_t thread = 0;
+  /// Nesting depth at record time (0 = outermost).
+  std::uint32_t depth = 0;
+};
+
+/// Process-wide store of completed spans.
+class TraceBuffer {
+ public:
+  static TraceBuffer& global();
+
+  void record(SpanRecord span);
+  /// Copy of everything recorded so far, in completion order.
+  std::vector<SpanRecord> snapshot() const;
+  void clear();
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span. `name` must outlive the span (string literals in practice).
+/// Construction is a no-op when tracing is disabled; the enable check is
+/// latched at construction so a span never records a half-timed interval.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  double start_ms_ = 0;
+};
+
+/// Milliseconds since the trace epoch (steady clock).
+double trace_now_ms();
+
+}  // namespace ethshard::obs

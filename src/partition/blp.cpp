@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ethshard::partition {
@@ -23,6 +24,9 @@ BlpStats BalancedLabelPropagation::refine(const graph::Graph& g,
   ETHSHARD_CHECK(!g.directed());
   ETHSHARD_CHECK(g.num_vertices() == p.size());
   ETHSHARD_CHECK(p.is_complete());
+  ETHSHARD_OBS_TIMER("blp/refine_ms");
+  ETHSHARD_OBS_SPAN("blp");
+  ETHSHARD_OBS_COUNT("blp/invocations", 1);
 
   const std::uint64_t n = g.num_vertices();
   const std::uint32_t k = p.k();
@@ -161,6 +165,8 @@ BlpStats BalancedLabelPropagation::refine(const graph::Graph& g,
   }
 
   stats.cut_after = edge_cut_weight(g, p);
+  ETHSHARD_OBS_COUNT("blp/rounds", static_cast<std::uint64_t>(stats.rounds_run));
+  ETHSHARD_OBS_COUNT("blp/moved", stats.moved);
   return stats;
 }
 

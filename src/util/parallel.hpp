@@ -10,7 +10,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <optional>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ethshard::util {
@@ -26,17 +29,21 @@ void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 
-/// Maps fn over inputs in parallel; results keep input order.
-/// R must be default-constructible and movable.
+/// Maps fn over inputs in parallel; results keep input order. R only
+/// needs to be movable — each worker constructs its result in place in a
+/// per-slot std::optional, so no default constructor is required.
 template <typename T, typename F>
 auto parallel_map(const std::vector<T>& inputs, F&& fn,
                   std::size_t threads = 0)
-    -> std::vector<decltype(fn(inputs.front()))> {
-  using R = decltype(fn(inputs.front()));
-  std::vector<R> results(inputs.size());
+    -> std::vector<std::invoke_result_t<F&, const T&>> {
+  using R = std::invoke_result_t<F&, const T&>;
+  std::vector<std::optional<R>> slots(inputs.size());
   parallel_for(
       inputs.size(),
-      [&](std::size_t i) { results[i] = fn(inputs[i]); }, threads);
+      [&](std::size_t i) { slots[i].emplace(fn(inputs[i])); }, threads);
+  std::vector<R> results;
+  results.reserve(inputs.size());
+  for (std::optional<R>& slot : slots) results.push_back(std::move(*slot));
   return results;
 }
 

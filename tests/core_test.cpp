@@ -399,6 +399,55 @@ class OutOfRangePlacementStrategy final : public ShardingStrategy {
   }
 };
 
+/// Periodically "repartitions" by renaming every shard label (s+1) mod k.
+/// The partition structure is identical, so label alignment must reduce
+/// the charged moves to exactly zero.
+class PermuteLabelsStrategy final : public ShardingStrategy {
+ public:
+  std::string name() const override { return "PermuteLabels"; }
+  partition::ShardId place(graph::Vertex v,
+                           std::span<const partition::ShardId>,
+                           const SimulatorEnv& env) override {
+    return place_by_hash(v, env.k());
+  }
+  bool should_repartition(const WindowSnapshot& snapshot,
+                          const SimulatorEnv&) override {
+    return snapshot.since_last_repartition >= util::kRepartitionPeriod;
+  }
+  partition::Partition compute_partition(const SimulatorEnv& env) override {
+    partition::Partition next = env.current_partition();
+    for (graph::Vertex v = 0; v < next.size(); ++v)
+      next.assign(v, (next.shard_of(v) + 1) % env.k());
+    return next;
+  }
+};
+
+/// Periodically re-hashes every vertex with a fresh salt — a genuine
+/// structural reshuffle that no label renaming can undo.
+class ReshuffleStrategy final : public ShardingStrategy {
+ public:
+  std::string name() const override { return "Reshuffle"; }
+  partition::ShardId place(graph::Vertex v,
+                           std::span<const partition::ShardId>,
+                           const SimulatorEnv& env) override {
+    return place_by_hash(v, env.k());
+  }
+  bool should_repartition(const WindowSnapshot& snapshot,
+                          const SimulatorEnv&) override {
+    return snapshot.since_last_repartition >= util::kRepartitionPeriod;
+  }
+  partition::Partition compute_partition(const SimulatorEnv& env) override {
+    ++salt_;
+    partition::Partition next(env.current_partition().size(), env.k());
+    for (graph::Vertex v = 0; v < next.size(); ++v)
+      next.assign(v, place_by_hash(v, env.k(), salt_));
+    return next;
+  }
+
+ private:
+  std::uint64_t salt_ = 0;
+};
+
 }  // namespace
 
 TEST(SimulatorContract, RejectsWrongSizedPartition) {
@@ -423,6 +472,48 @@ TEST(SimulatorContract, RejectsOutOfRangePlacement) {
   cfg.k = 2;
   ShardingSimulator sim(tiny_history(), bad, cfg);
   EXPECT_THROW(sim.run(), util::CheckFailure);
+}
+
+TEST(LabelAlignment, PureLabelPermutationChargesZeroMoves) {
+  SimulatorConfig cfg;
+  cfg.k = 4;
+
+  PermuteLabelsStrategy aligned_strategy;
+  ShardingSimulator aligned(tiny_history(), aligned_strategy, cfg);
+  const SimulationResult a = aligned.run();
+  ASSERT_GT(a.repartitions.size(), 0u);
+  EXPECT_EQ(a.total_moves, 0u);
+  EXPECT_EQ(a.total_moved_state_units, 0u);
+
+  // Without alignment the same renaming is charged for every vertex that
+  // changed label — i.e. almost all of them, repeatedly.
+  cfg.align_repartition_labels = false;
+  PermuteLabelsStrategy raw_strategy;
+  ShardingSimulator raw(tiny_history(), raw_strategy, cfg);
+  const SimulationResult b = raw.run();
+  EXPECT_GT(b.total_moves, 0u);
+}
+
+TEST(LabelAlignment, StructuralReshuffleStillCountsInFull) {
+  SimulatorConfig cfg;
+  cfg.k = 4;
+
+  ReshuffleStrategy aligned_strategy;
+  ShardingSimulator aligned(tiny_history(), aligned_strategy, cfg);
+  const SimulationResult a = aligned.run();
+
+  cfg.align_repartition_labels = false;
+  ReshuffleStrategy raw_strategy;
+  ShardingSimulator raw(tiny_history(), raw_strategy, cfg);
+  const SimulationResult b = raw.run();
+
+  // A re-hash with a fresh salt scatters vertices regardless of labels:
+  // alignment may rename at best one shard into place but must keep the
+  // bulk of the movement on the books.
+  ASSERT_GT(a.repartitions.size(), 0u);
+  EXPECT_GT(a.total_moves, 0u);
+  EXPECT_LE(a.total_moves, b.total_moves);
+  EXPECT_GE(a.total_moves, b.total_moves / 4);
 }
 
 // --------------------------------------------------------------- result io
@@ -515,6 +606,62 @@ TEST(Experiment, TableListsEveryMethod) {
   EXPECT_NE(table.find("Hashing"), std::string::npos);
   EXPECT_NE(table.find("KL"), std::string::npos);
   EXPECT_NE(table.find("speedup"), std::string::npos);
+}
+
+TEST(Experiment, ValidateAcceptsDefaultConfig) {
+  EXPECT_TRUE(ExperimentConfig{}.validate().empty());
+}
+
+TEST(Experiment, ValidateNamesEveryProblem) {
+  ExperimentConfig cfg;
+  cfg.methods.clear();
+  cfg.shard_counts = {0};
+  cfg.threads = 100000;
+  const std::vector<std::string> problems = cfg.validate();
+  ASSERT_EQ(problems.size(), 3u);
+  EXPECT_NE(problems[0].find("methods"), std::string::npos);
+  EXPECT_NE(problems[1].find("k=0"), std::string::npos);
+  EXPECT_NE(problems[2].find("threads"), std::string::npos);
+}
+
+TEST(Experiment, RunRejectsInvalidConfigUpFront) {
+  ExperimentConfig cfg;
+  cfg.shard_counts.clear();
+  try {
+    run_experiment(tiny_history(), cfg);
+    FAIL() << "expected CheckFailure";
+  } catch (const util::CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("shard_counts"),
+              std::string::npos);
+  }
+}
+
+TEST(Experiment, CellWallTimeIsAlwaysMeasured) {
+  ExperimentConfig cfg;
+  cfg.methods = {Method::kHashing};
+  cfg.shard_counts = {2};
+  const auto runs = run_experiment(tiny_history(), cfg);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_GT(runs[0].cell_wall_ms, 0.0);
+  EXPECT_GE(runs[0].queue_wait_ms, 0.0);
+  // Metrics snapshots ride along only when observability is on.
+  EXPECT_TRUE(runs[0].metrics.empty());
+}
+
+TEST(Experiment, PerCellMetricsWhenObservabilityOn) {
+  obs::set_enabled(true);
+  ExperimentConfig cfg;
+  cfg.methods = {Method::kRMetis};
+  cfg.shard_counts = {2};
+  const auto runs = run_experiment(tiny_history(), cfg);
+  obs::set_enabled(false);
+  ASSERT_EQ(runs.size(), 1u);
+  const obs::MetricsSnapshot& m = runs[0].metrics;
+  EXPECT_FALSE(m.empty());
+  EXPECT_GT(m.counters.at("sim/windows"), 0u);
+  EXPECT_GT(m.counters.at("mlkp/invocations"), 0u);
+  EXPECT_EQ(m.timers.count("mlkp/coarsen_ms"), 1u);
+  EXPECT_EQ(m.timers.count("experiment/cell_ms"), 1u);
 }
 
 TEST(Experiment, DeterministicAcrossRuns) {

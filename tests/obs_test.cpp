@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace ethshard;
+
+// Tests toggle the process-wide flags; restore them no matter how the
+// test exits.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::set_trace_enabled(false);
+    obs::TraceBuffer::global().clear();
+  }
+};
+
+TEST_F(ObsTest, DisabledByDefault) {
+  EXPECT_FALSE(obs::enabled());
+  obs::Registry reg;
+  const obs::ScopedRegistry scope(reg);
+  ETHSHARD_OBS_COUNT("c", 1);
+  ETHSHARD_OBS_GAUGE("g", 2.0);
+  ETHSHARD_OBS_RECORD_MS("t", 3.0);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST_F(ObsTest, CountersGaugesTimers) {
+  obs::Registry reg;
+  reg.add_counter("calls", 2);
+  reg.add_counter("calls", 3);
+  reg.set_gauge("temp", 1.5);
+  reg.set_gauge("temp", 2.5);  // gauges keep the last value
+  reg.record_ms("step", 4.0);
+  reg.record_ms("step", 2.0);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("calls"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("temp"), 2.5);
+  const obs::TimerStat& t = snap.timers.at("step");
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.total_ms, 6.0);
+  EXPECT_DOUBLE_EQ(t.mean_ms(), 3.0);
+  EXPECT_DOUBLE_EQ(t.min_ms, 2.0);
+  EXPECT_DOUBLE_EQ(t.max_ms, 4.0);
+}
+
+TEST_F(ObsTest, MergesAcrossThreads) {
+  obs::Registry reg;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i)
+    workers.emplace_back([&reg] {
+      for (int j = 0; j < 100; ++j) reg.add_counter("n", 1);
+      reg.record_ms("work", 1.0);
+    });
+  for (std::thread& w : workers) w.join();
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("n"), 400u);
+  EXPECT_EQ(snap.timers.at("work").count, 4u);
+}
+
+TEST_F(ObsTest, RegistryIdsAreNotReused) {
+  // A thread's cached sink for a destroyed registry must never serve a
+  // later registry that happens to live at the same address.
+  obs::MetricsSnapshot first;
+  {
+    obs::Registry reg;
+    reg.add_counter("a", 1);
+    first = reg.snapshot();
+  }
+  obs::Registry reg2;
+  reg2.add_counter("b", 7);
+  const obs::MetricsSnapshot snap = reg2.snapshot();
+  EXPECT_EQ(first.counters.at("a"), 1u);
+  EXPECT_EQ(snap.counters.count("a"), 0u);
+  EXPECT_EQ(snap.counters.at("b"), 7u);
+}
+
+TEST_F(ObsTest, ScopedRegistryRedirectsAndRestores) {
+  obs::set_enabled(true);
+  obs::Registry outer;
+  obs::Registry inner;
+  const obs::ScopedRegistry outer_scope(outer);
+  {
+    const obs::ScopedRegistry inner_scope(inner);
+    ETHSHARD_OBS_COUNT("x", 1);
+  }
+  ETHSHARD_OBS_COUNT("y", 1);
+  EXPECT_EQ(inner.snapshot().counters.at("x"), 1u);
+  EXPECT_EQ(outer.snapshot().counters.count("x"), 0u);
+  EXPECT_EQ(outer.snapshot().counters.at("y"), 1u);
+}
+
+TEST_F(ObsTest, AbsorbFoldsChildSnapshots) {
+  obs::Registry parent;
+  obs::Registry child;
+  parent.add_counter("n", 1);
+  child.add_counter("n", 2);
+  child.record_ms("t", 5.0);
+  parent.absorb(child.snapshot());
+  const obs::MetricsSnapshot snap = parent.snapshot();
+  EXPECT_EQ(snap.counters.at("n"), 3u);
+  EXPECT_EQ(snap.timers.at("t").count, 1u);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsWhenEnabled) {
+  obs::set_enabled(true);
+  obs::Registry reg;
+  const obs::ScopedRegistry scope(reg);
+  {
+    ETHSHARD_OBS_TIMER("timed");
+  }
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.timers.count("timed"), 1u);
+  EXPECT_EQ(snap.timers.at("timed").count, 1u);
+  EXPECT_GE(snap.timers.at("timed").total_ms, 0.0);
+}
+
+TEST_F(ObsTest, SpansNestIntoPaths) {
+  obs::set_trace_enabled(true);
+  {
+    obs::ScopedSpan outer("outer");
+    { obs::ScopedSpan inner("inner"); }
+  }
+  const std::vector<obs::SpanRecord> spans =
+      obs::TraceBuffer::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first.
+  EXPECT_EQ(spans[0].path, "outer/inner");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].path, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST_F(ObsTest, SpansOffByDefault) {
+  { obs::ScopedSpan s("nope"); }
+  EXPECT_EQ(obs::TraceBuffer::global().size(), 0u);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrips) {
+  obs::Registry reg;
+  reg.add_counter("a/b", 2);
+  reg.set_gauge("g", 0.5);
+  reg.record_ms("t", 1.25);
+  std::ostringstream os;
+  obs::write_metrics_json(os, reg.snapshot());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"a/b\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, MetricsCsvHasOneRowPerEntry) {
+  obs::Registry reg;
+  reg.add_counter("c", 1);
+  reg.set_gauge("g", 2.0);
+  reg.record_ms("t", 3.0);
+  std::ostringstream os;
+  obs::write_metrics_csv(os, reg.snapshot());
+  const std::string csv = os.str();
+  int lines = 0;
+  for (char ch : csv)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 4);  // header + 3 rows
+  EXPECT_NE(csv.find("counter,c,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,"), std::string::npos);
+  EXPECT_NE(csv.find("timer,t,"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceJsonIsChromeShaped) {
+  obs::set_trace_enabled(true);
+  { obs::ScopedSpan s("phase"); }
+  std::ostringstream os;
+  obs::write_trace_json(os, obs::TraceBuffer::global().snapshot());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+}  // namespace

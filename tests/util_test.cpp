@@ -444,6 +444,43 @@ TEST(Parallel, DefaultThreadCountPositive) {
   EXPECT_GE(default_thread_count(), 1u);
 }
 
+TEST(Parallel, MapHandlesNonDefaultConstructibleResults) {
+  struct Boxed {
+    explicit Boxed(int v) : value(v) {}
+    Boxed(Boxed&&) = default;
+    Boxed& operator=(Boxed&&) = default;
+    int value;
+  };
+  static_assert(!std::is_default_constructible_v<Boxed>);
+  std::vector<int> inputs{1, 2, 3, 4};
+  const auto out =
+      parallel_map(inputs, [](int v) { return Boxed(v * 10); }, 2);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i].value, static_cast<int>(i + 1) * 10);
+}
+
+TEST(Parallel, WorkerExceptionRethrownExactlyOnce) {
+  // Several workers may throw; the caller must see exactly one exception
+  // (the first), and a subsequent call must start clean.
+  std::atomic<int> caught{0};
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      parallel_for(
+          64,
+          [](std::size_t i) {
+            if (i % 7 == 0) throw std::runtime_error("boom " + std::to_string(i));
+          },
+          4);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      ++caught;
+      EXPECT_EQ(std::string(e.what()).rfind("boom", 0), 0u);
+    }
+  }
+  EXPECT_EQ(caught.load(), 2);  // one per call, never zero or doubled
+}
+
 // ----------------------------------------------------------------- check
 
 TEST(Check, PassingCheckIsSilent) {

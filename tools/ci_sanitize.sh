@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verify under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Builds the asan-ubsan CMake preset and runs the full test suite with
+# sanitizer halts fatal (the build already passes -fno-sanitize-recover).
+# Usage: tools/ci_sanitize.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+# abort_on_error makes ASan failures kill the test immediately so ctest
+# reports them instead of a confusing pass-with-log.
+export ASAN_OPTIONS=abort_on_error=1:detect_leaks=0
+export UBSAN_OPTIONS=print_stacktrace=1
+
+ctest --test-dir build-asan -j "$(nproc)" --output-on-failure "$@"

@@ -23,6 +23,9 @@
 #include "core/result_io.hpp"
 #include "core/simulator.hpp"
 #include "core/strategies.hpp"
+#include "core/strategy_registry.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "graph/analysis.hpp"
 #include "graph/builder.hpp"
 #include "graph/dot.hpp"
@@ -60,7 +63,9 @@ int usage() {
       "  stats      history totals and monthly growth (Fig. 1 data)\n"
       "             --trace PATH | --scale/--seed\n"
       "  simulate   replay against a sharding method (Figs. 3-5 data)\n"
-      "             --method NAME (Hashing|KL|METIS|R-METIS|TR-METIS)\n"
+      "             --method SPEC (Hashing|KL|METIS|R-METIS|TR-METIS|DSM;\n"
+      "                            P-METIS = R-METIS; tunable, e.g.\n"
+      "                            'tr-metis:cut_floor=0.25,min_gap_days=2')\n"
       "             --shards K (2)  [--csv PATH  per-window samples]\n"
       "  partition  one-shot partition of the final graph, all methods\n"
       "             --shards K (2)  [--method NAME  single method]\n"
@@ -74,7 +79,13 @@ int usage() {
       "  metis-eval evaluate a METIS .part file on our metrics\n"
       "             --part PATH --shards K\n"
       "  compare    the full method x shard-count grid in one table\n"
-      "             --shards LIST (2,4,8)  [--gas  gas-based load]\n");
+      "             --shards LIST (2,4,8)  [--gas  gas-based load]\n"
+      "\n"
+      "observability (any command):\n"
+      "  --metrics-out PATH   enable metrics; write counters/gauges/timers\n"
+      "                       as JSON on exit\n"
+      "  --trace-out PATH     enable tracing; write Chrome trace-event\n"
+      "                       JSON (chrome://tracing, Perfetto) on exit\n");
   return 2;
 }
 
@@ -99,16 +110,6 @@ workload::History load_history(const util::ArgParser& args) {
                workload::preset_name(preset).c_str(), cfg.scale,
                static_cast<unsigned long long>(cfg.seed));
   return workload::EthereumHistoryGenerator(cfg).generate();
-}
-
-core::Method method_from_name(const std::string& name) {
-  for (core::Method m : core::kAllMethods)
-    if (core::method_name(m) == name) return m;
-  ETHSHARD_CHECK_MSG(false, "unknown method '"
-                                << name
-                                << "' (want Hashing|KL|METIS|R-METIS|"
-                                   "TR-METIS)");
-  return core::Method::kHashing;
 }
 
 int cmd_generate(const util::ArgParser& args) {
@@ -218,11 +219,12 @@ int cmd_stats(const util::ArgParser& args) {
 
 int cmd_simulate(const util::ArgParser& args) {
   const workload::History history = load_history(args);
-  const core::Method method =
-      method_from_name(args.get("method", "R-METIS"));
   const auto k = static_cast<std::uint32_t>(args.get_uint("shards", 2));
 
-  const auto strategy = core::make_strategy(method, args.get_uint("seed", 7));
+  // --method takes a registry spec: a bare name ("R-METIS", or the
+  // paper-figure alias "P-METIS") or name:key=value,... for tuning.
+  const auto strategy = core::StrategyRegistry::global().make(
+      args.get("method", "R-METIS"), args.get_uint("seed", 7));
   core::SimulatorConfig cfg;
   cfg.k = k;
   core::ShardingSimulator sim(history, *strategy, cfg);
@@ -449,6 +451,11 @@ int main(int argc, char** argv) {
   util::ArgParser args(argc - 2, argv + 2);
 
   try {
+    const std::string metrics_out = args.get("metrics-out", "");
+    const std::string trace_out = args.get("trace-out", "");
+    if (!metrics_out.empty()) obs::set_enabled(true);
+    if (!trace_out.empty()) obs::set_trace_enabled(true);
+
     int rc;
     if (command == "generate") {
       rc = cmd_generate(args);
@@ -470,6 +477,17 @@ int main(int argc, char** argv) {
       rc = cmd_compare(args);
     } else {
       return usage();
+    }
+    if (!metrics_out.empty()) {
+      obs::write_metrics_json_file(metrics_out,
+                                   obs::Registry::global().snapshot());
+      std::fprintf(stderr, "[ethshard] metrics -> %s\n",
+                   metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      obs::write_trace_json_file(trace_out,
+                                 obs::TraceBuffer::global().snapshot());
+      std::fprintf(stderr, "[ethshard] trace -> %s\n", trace_out.c_str());
     }
     for (const std::string& flag : args.unused())
       std::fprintf(stderr, "[ethshard] warning: unused flag --%s\n",
