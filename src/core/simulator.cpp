@@ -166,7 +166,11 @@ void ShardingSimulator::process_transaction(const eth::Transaction& tx) {
       shard_loads_[st] += load;
     }
 
-    const bool existed = cumulative_.has_edge(c.from, c.to);
+    // Static-cut bookkeeping counts distinct *undirected* non-loop edges,
+    // matching metrics::static_edge_cut over the symmetrized cumulative
+    // graph (a→b and b→a are one edge; self-loops can never be cut).
+    const bool existed = cumulative_.has_edge(c.from, c.to) ||
+                         cumulative_.has_edge(c.to, c.from);
     cumulative_.add_edge(c.from, c.to, 1);
     if (!existed && c.from != c.to) {
       ++distinct_edges_;
@@ -204,6 +208,9 @@ void ShardingSimulator::recompute_static_cut() {
   cumulative_.for_each_edge(
       [&](graph::Vertex u, graph::Vertex v, graph::Weight) {
         if (u == v) return;
+        // Count each undirected edge once: when both directions exist,
+        // only the u < v orientation contributes.
+        if (u > v && cumulative_.has_edge(v, u)) return;
         if (part_.shard_of(u) != part_.shard_of(v)) ++cut;
       });
   cut_edges_ = cut;

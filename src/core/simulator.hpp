@@ -52,7 +52,9 @@ struct WindowSample {
   double dynamic_edge_cut = 0;
   /// Eq. 2 over the window's per-shard activity.
   double dynamic_balance = 1;
-  /// Eq. 1 over the cumulative graph's distinct edges, current assignment.
+  /// Eq. 1 over the cumulative graph's distinct undirected edges, current
+  /// assignment — equal to metrics::static_edge_cut on the symmetrized
+  /// cumulative graph at this window boundary.
   double static_edge_cut = 0;
   /// Eq. 2 over vertex counts, current assignment.
   double static_balance = 1;
@@ -135,7 +137,8 @@ class ShardingSimulator {
   std::vector<std::uint64_t> shard_counts_;
   std::vector<graph::Weight> shard_loads_;
 
-  // Incremental static-cut bookkeeping over distinct non-loop edges.
+  // Incremental static-cut bookkeeping over distinct undirected non-loop
+  // edges (a→b and b→a count once, as in the symmetrized graph).
   // Online migrations invalidate the incremental count; it is recomputed
   // lazily at the next window flush.
   std::uint64_t distinct_edges_ = 0;

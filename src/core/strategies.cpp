@@ -1,6 +1,8 @@
 #include "core/strategies.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "core/placement.hpp"
 #include "core/strategy_registry.hpp"
@@ -17,6 +19,59 @@ partition::Partition local_partition(const WindowGraph& wg,
   partition::Partition local(wg.to_global.size(), global.k());
   for (graph::Vertex lv = 0; lv < wg.to_global.size(); ++lv)
     local.assign(lv, global.shard_of(wg.to_global[lv]));
+  return local;
+}
+
+/// Relabels `local` so its shards line up with where the same window
+/// vertices currently live globally ("scratch-remap" repartitioning). A
+/// from-scratch MLKP run names its shards arbitrarily; the simulator's
+/// post-merge alignment cannot undo that scrambling because its overlap
+/// count is dominated by the dormant vertices that never moved, so
+/// without this step a mere renaming of an unchanged cut would count
+/// every active vertex as moved. A follow-up migration-aware pass then
+/// keeps displaced vertices in place when doing so is free — among the
+/// partitioner's equally good outputs, pick the one nearest the current
+/// assignment.
+partition::Partition align_labels(const WindowGraph& wg,
+                                  partition::Partition local,
+                                  const partition::Partition& global,
+                                  double imbalance) {
+  const partition::Partition current = local_partition(wg, global);
+  partition::align_partition_labels(current, &local);
+
+  // Even with labels matched, ties remain: a boundary vertex whose move
+  // gain is exactly zero lands wherever the partitioner's salted
+  // tie-break dropped it, and every such vertex bills one migration at
+  // merge time. Walk the window once in ascending index order (so the
+  // result stays deterministic and thread-count independent) and send
+  // each displaced vertex home to its current shard whenever that
+  // neither worsens the window cut nor lifts the destination shard past
+  // the imbalance cap.
+  const graph::Graph& g = wg.undirected;
+  std::vector<graph::Weight> weights = local.shard_weights(g);
+  const double cap = (1.0 + imbalance) *
+                     static_cast<double>(g.total_vertex_weight()) /
+                     static_cast<double>(local.k());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    const partition::ShardId home = current.shard_of(v);
+    const partition::ShardId away = local.shard_of(v);
+    if (home == away || home >= local.k()) continue;
+    const graph::Weight wv = g.vertex_weight(v);
+    if (static_cast<double>(weights[home] + wv) > cap) continue;
+    std::int64_t gain = 0;
+    for (const graph::Arc& a : g.neighbors(v)) {
+      if (a.to == v) continue;
+      const partition::ShardId s = local.shard_of(a.to);
+      if (s == home)
+        gain += static_cast<std::int64_t>(a.weight);
+      else if (s == away)
+        gain -= static_cast<std::int64_t>(a.weight);
+    }
+    if (gain < 0) continue;
+    weights[away] -= wv;
+    weights[home] += wv;
+    local.assign(v, home);
+  }
   return local;
 }
 
@@ -120,7 +175,9 @@ partition::Partition WindowMlkpStrategy::compute_partition(
   partition::MlkpConfig cfg = mlkp_;
   cfg.seed = mlkp_.seed + (++invocation_);
   partition::MlkpPartitioner mlkp(cfg);
-  const partition::Partition local = mlkp.partition(wg.undirected, env.k());
+  const partition::Partition local =
+      align_labels(wg, mlkp.partition(wg.undirected, env.k()),
+                   env.current_partition(), mlkp_.imbalance);
   return merge_local(wg, local, env.current_partition());
 }
 
@@ -174,7 +231,9 @@ partition::Partition ThresholdMlkpStrategy::compute_partition(
   partition::MlkpConfig cfg = mlkp_;
   cfg.seed = mlkp_.seed + (++invocation_);
   partition::MlkpPartitioner mlkp(cfg);
-  const partition::Partition local = mlkp.partition(wg.undirected, env.k());
+  const partition::Partition local =
+      align_labels(wg, mlkp.partition(wg.undirected, env.k()),
+                   env.current_partition(), mlkp_.imbalance);
   return merge_local(wg, local, env.current_partition());
 }
 
@@ -217,11 +276,12 @@ void DsmStrategy::on_transaction(std::span<const graph::Vertex> involved,
 
 // ---------------------------------------------------------------- factory
 
-std::unique_ptr<ShardingStrategy> make_strategy(Method method,
-                                                std::uint64_t seed) {
+std::unique_ptr<ShardingStrategy> make_strategy(
+    Method method, std::uint64_t seed, std::size_t partitioner_threads) {
   // Thin wrapper over the string registry: a bare name resolves to the
   // paper's defaults, which are exactly what this enum factory promised.
-  return StrategyRegistry::global().make(method_name(method), seed);
+  return StrategyRegistry::global().make(method_name(method), seed,
+                                         partitioner_threads);
 }
 
 std::string method_name(Method method) {

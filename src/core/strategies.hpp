@@ -82,6 +82,8 @@ class FullGraphMlkpStrategy final : public ShardingStrategy {
                           const SimulatorEnv& env) override;
   partition::Partition compute_partition(const SimulatorEnv& env) override;
 
+  const partition::MlkpConfig& mlkp_config() const { return mlkp_; }
+
  private:
   util::Timestamp period_;
   partition::MlkpConfig mlkp_;
@@ -105,6 +107,8 @@ class WindowMlkpStrategy final : public ShardingStrategy {
   bool should_repartition(const WindowSnapshot& snapshot,
                           const SimulatorEnv& env) override;
   partition::Partition compute_partition(const SimulatorEnv& env) override;
+
+  const partition::MlkpConfig& mlkp_config() const { return mlkp_; }
 
  private:
   util::Timestamp period_;
@@ -159,6 +163,7 @@ class ThresholdMlkpStrategy final : public ShardingStrategy {
   partition::Partition compute_partition(const SimulatorEnv& env) override;
 
   const Thresholds& thresholds() const { return thresholds_; }
+  const partition::MlkpConfig& mlkp_config() const { return mlkp_; }
 
  private:
   Thresholds thresholds_;
@@ -214,9 +219,12 @@ inline constexpr Method kAllMethods[] = {Method::kHashing, Method::kKl,
                                          Method::kTrMetis};
 
 /// Factory with the paper's defaults (two-week period, 4-shard-tolerant
-/// thresholds). `seed` perturbs any randomized component.
-std::unique_ptr<ShardingStrategy> make_strategy(Method method,
-                                                std::uint64_t seed = 1);
+/// thresholds). `seed` perturbs any randomized component;
+/// `partitioner_threads` sets MlkpConfig::threads for the MLKP-backed
+/// methods (1 = serial; results are identical for every thread count).
+std::unique_ptr<ShardingStrategy> make_strategy(
+    Method method, std::uint64_t seed = 1,
+    std::size_t partitioner_threads = 1);
 
 /// The method's figure label ("Hashing", "KL", "METIS", "R-METIS",
 /// "TR-METIS").

@@ -47,6 +47,13 @@ partition::MlkpConfig read_mlkp(SpecReader& r) {
   cfg.init_tries = r.get_int("init_tries", cfg.init_tries);
   cfg.refine_passes = r.get_int("refine_passes", cfg.refine_passes);
   cfg.refine = r.get_bool("refine", cfg.refine);
+  cfg.threads = static_cast<std::size_t>(
+      r.get_uint("threads", r.default_threads()));
+  ETHSHARD_CHECK_MSG(cfg.threads <= 1024,
+                     "strategy '" + r.name() + "': threads = " +
+                         std::to_string(cfg.threads) +
+                         " is not plausible — use 0 for hardware "
+                         "concurrency or 1 for serial");
   const std::string matching = r.get_string(
       "matching",
       cfg.matching == partition::MatchingScheme::kHeavyEdge ? "heavy-edge"
@@ -151,8 +158,9 @@ StrategySpec parse_strategy_spec(std::string_view spec) {
   return out;
 }
 
-SpecReader::SpecReader(const StrategySpec& spec, std::uint64_t default_seed)
-    : spec_(spec), seed_(default_seed) {
+SpecReader::SpecReader(const StrategySpec& spec, std::uint64_t default_seed,
+                       std::size_t default_threads)
+    : spec_(spec), seed_(default_seed), default_threads_(default_threads) {
   seed_ = get_uint("seed", default_seed);
 }
 
@@ -239,7 +247,8 @@ void StrategyRegistry::add(const std::string& canonical,
 }
 
 std::unique_ptr<ShardingStrategy> StrategyRegistry::make(
-    std::string_view spec, std::uint64_t default_seed) const {
+    std::string_view spec, std::uint64_t default_seed,
+    std::size_t default_threads) const {
   const StrategySpec parsed = parse_strategy_spec(spec);
   Factory factory;
   {
@@ -253,7 +262,7 @@ std::unique_ptr<ShardingStrategy> StrategyRegistry::make(
     }
     factory = it->second;
   }
-  SpecReader reader(parsed, default_seed);
+  SpecReader reader(parsed, default_seed, default_threads);
   std::unique_ptr<ShardingStrategy> strategy = factory(reader);
   ETHSHARD_CHECK_MSG(strategy != nullptr, "strategy factory for '" +
                                               parsed.name +

@@ -2,6 +2,9 @@
 
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+#include "partition/parallel_contract.hpp"
+#include "partition/parallel_match.hpp"
 #include "util/check.hpp"
 
 namespace ethshard::partition {
@@ -103,6 +106,37 @@ std::vector<CoarseLevel> coarsen(const graph::Graph& g,
   const graph::Graph* cur = &g;
   while (cur->num_vertices() > target_vertices) {
     CoarseLevel next = coarsen_once(*cur, scheme, rng);
+    // Matching stalls (e.g. star graphs) → stop rather than loop forever.
+    if (next.graph.num_vertices() >
+        static_cast<std::uint64_t>(0.95 * static_cast<double>(
+                                              cur->num_vertices())))
+      break;
+    levels.push_back(std::move(next));
+    cur = &levels.back().graph;
+  }
+  return levels;
+}
+
+std::vector<CoarseLevel> coarsen_mt(const graph::Graph& g,
+                                    std::uint64_t target_vertices,
+                                    MatchingScheme scheme, util::Rng& rng,
+                                    std::size_t threads) {
+  std::vector<CoarseLevel> levels;
+  const graph::Graph* cur = &g;
+  while (cur->num_vertices() > target_vertices) {
+    const std::uint64_t salt = rng.next();
+    std::vector<graph::Vertex> match;
+    {
+      ETHSHARD_OBS_TIMER("mlkp/match_ms");
+      ETHSHARD_OBS_SPAN("match");
+      match = parallel_matching(*cur, scheme, salt, threads);
+    }
+    CoarseLevel next;
+    {
+      ETHSHARD_OBS_TIMER("mlkp/contract_ms");
+      ETHSHARD_OBS_SPAN("contract");
+      next = parallel_contract(*cur, match, threads);
+    }
     // Matching stalls (e.g. star graphs) → stop rather than loop forever.
     if (next.graph.num_vertices() >
         static_cast<std::uint64_t>(0.95 * static_cast<double>(

@@ -43,4 +43,14 @@ std::vector<CoarseLevel> coarsen(const graph::Graph& g,
                                  std::uint64_t target_vertices,
                                  MatchingScheme scheme, util::Rng& rng);
 
+/// Deterministic parallel coarsening (mt-MLKP): parallel_matching +
+/// parallel_contract per level, with the same target/stall stopping rule
+/// as `coarsen`. Draws exactly one tie-break salt from `rng` per level
+/// attempt, so the RNG stream advance — like the hierarchy itself — is
+/// bit-identical for every `threads` value (0 = hardware concurrency).
+std::vector<CoarseLevel> coarsen_mt(const graph::Graph& g,
+                                    std::uint64_t target_vertices,
+                                    MatchingScheme scheme, util::Rng& rng,
+                                    std::size_t threads);
+
 }  // namespace ethshard::partition

@@ -29,4 +29,14 @@ struct KwayRefineConfig {
 graph::Weight kway_refine(const graph::Graph& g, Partition& p,
                           const KwayRefineConfig& cfg, util::Rng& rng);
 
+/// Deterministic parallel variant (mt-MLKP): each pass proposes boundary
+/// moves in parallel against the pass-start state (fixed-grain chunks, so
+/// the proposal list is thread-count independent), then applies them
+/// serially in ascending vertex order with gains recomputed against the
+/// live state — same acceptance rules as `kway_refine`, but no RNG: the
+/// result depends only on (g, p, cfg), never on `threads` (0 = hardware).
+graph::Weight kway_refine_mt(const graph::Graph& g, Partition& p,
+                             const KwayRefineConfig& cfg,
+                             std::size_t threads);
+
 }  // namespace ethshard::partition

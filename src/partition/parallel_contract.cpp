@@ -1,0 +1,123 @@
+#include "partition/parallel_contract.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace ethshard::partition {
+
+namespace {
+
+// Fixed grain: the chunk decomposition (and the per-chunk edge buffers)
+// must depend only on the coarse vertex count, never on the thread count.
+constexpr std::size_t kGrain = 2048;
+
+}  // namespace
+
+CoarseLevel parallel_contract(const graph::Graph& g,
+                              const std::vector<graph::Vertex>& match,
+                              std::size_t threads) {
+  ETHSHARD_CHECK(!g.directed());
+  const std::uint64_t n = g.num_vertices();
+  ETHSHARD_CHECK(match.size() == n);
+
+  // The smaller endpoint of each pair owns the coarse id; ids are dense
+  // in owner order (an exclusive prefix sum over owner flags).
+  std::vector<std::uint64_t> ids(n);
+  util::parallel_for_chunked(
+      n, kGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (graph::Vertex v = begin; v < end; ++v)
+          ids[v] = v <= match[v] ? 1 : 0;
+      },
+      threads);
+  const std::uint64_t cn = util::exclusive_prefix_sum(ids, threads);
+
+  std::vector<graph::Vertex> fine_to_coarse(n);
+  std::vector<graph::Vertex> owners(cn);
+  util::parallel_for_chunked(
+      n, kGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (graph::Vertex v = begin; v < end; ++v) {
+          if (v <= match[v]) {
+            fine_to_coarse[v] = ids[v];
+            owners[ids[v]] = v;
+          } else {
+            fine_to_coarse[v] = ids[match[v]];
+          }
+        }
+      },
+      threads);
+
+  std::vector<graph::Weight> cvwgt(cn);
+  util::parallel_for_chunked(
+      cn, kGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::uint64_t c = begin; c < end; ++c) {
+          const graph::Vertex v = owners[c];
+          const graph::Vertex u = match[v];
+          cvwgt[c] =
+              g.vertex_weight(v) + (u != v ? g.vertex_weight(u) : 0);
+        }
+      },
+      threads);
+
+  // Gather each coarse vertex's arcs into per-chunk buffers (merged and
+  // sorted per vertex), then lay them out contiguously via prefix sums.
+  const std::size_t chunks = util::chunk_count(cn, kGrain);
+  std::vector<std::vector<graph::Arc>> buffers(chunks);
+  std::vector<std::uint64_t> xadj(cn + 1, 0);
+  util::parallel_for_chunked(
+      cn, kGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        std::vector<graph::Arc>& buf = buffers[chunk];
+        std::vector<graph::Arc> scratch;
+        for (std::uint64_t c = begin; c < end; ++c) {
+          scratch.clear();
+          const graph::Vertex v = owners[c];
+          const graph::Vertex u = match[v];
+          auto gather = [&](graph::Vertex x) {
+            for (const graph::Arc& a : g.neighbors(x)) {
+              const graph::Vertex cv = fine_to_coarse[a.to];
+              if (cv == c) continue;  // intra-pair or self-loop: vanishes
+              scratch.push_back(graph::Arc{cv, a.weight});
+            }
+          };
+          gather(v);
+          if (u != v) gather(u);
+          std::sort(scratch.begin(), scratch.end(),
+                    [](const graph::Arc& a, const graph::Arc& b) {
+                      return a.to < b.to;
+                    });
+          std::uint64_t deg = 0;
+          for (std::size_t i = 0; i < scratch.size();) {
+            graph::Arc merged = scratch[i];
+            for (++i; i < scratch.size() && scratch[i].to == merged.to; ++i)
+              merged.weight += scratch[i].weight;
+            buf.push_back(merged);
+            ++deg;
+          }
+          xadj[c] = deg;
+        }
+      },
+      threads);
+
+  const std::uint64_t total_arcs = util::exclusive_prefix_sum(xadj, threads);
+  std::vector<graph::Arc> adj(total_arcs);
+  util::parallel_for_chunked(
+      cn, kGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t) {
+        std::copy(buffers[chunk].begin(), buffers[chunk].end(),
+                  adj.begin() + static_cast<std::ptrdiff_t>(xadj[begin]));
+      },
+      threads);
+
+  CoarseLevel level;
+  level.graph = graph::Graph::from_csr(std::move(xadj), std::move(adj),
+                                       std::move(cvwgt), /*directed=*/false);
+  level.fine_to_coarse = std::move(fine_to_coarse);
+  return level;
+}
+
+}  // namespace ethshard::partition

@@ -1,0 +1,33 @@
+// Deterministic parallel graph contraction (mt-MLKP coarsening phase 2).
+//
+// Given a matching, builds the coarse graph: each matched pair (and each
+// singleton) becomes one coarse vertex owned by its smaller endpoint;
+// coarse vertex weights are constituent sums; parallel coarse edges merge
+// with summed weights; intra-pair edges vanish — identical semantics to
+// the serial coarsen_once.
+//
+// Parallelism is by fixed-grain chunks of coarse vertices: each chunk
+// gathers its vertices' arcs into a private buffer (sorted and merged per
+// coarse vertex), degrees turn into CSR offsets via an exclusive prefix
+// sum, and a second pass copies every chunk's buffer into its contiguous
+// CSR slice. The chunk decomposition depends only on the coarse vertex
+// count, so the output is bit-identical for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/coarsen.hpp"
+
+namespace ethshard::partition {
+
+/// Contracts `g` along `match` (as produced by parallel_matching:
+/// involution with match[v] == v for singletons). Returns the coarse
+/// graph plus the fine→coarse projection map. Deterministic for fixed
+/// (g, match) regardless of `threads` (0 = hardware).
+CoarseLevel parallel_contract(const graph::Graph& g,
+                              const std::vector<graph::Vertex>& match,
+                              std::size_t threads);
+
+}  // namespace ethshard::partition

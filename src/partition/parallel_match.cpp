@@ -1,0 +1,153 @@
+#include "partition/parallel_match.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+
+namespace ethshard::partition {
+
+namespace {
+
+constexpr graph::Vertex kNone = graph::Graph::kInvalid;
+
+// Chunk grain for all sweeps: a pure constant, so the chunk decomposition
+// (and with it every per-chunk buffer) is independent of the thread count.
+constexpr std::size_t kGrain = 4096;
+
+// More rounds sharpen the matching but each costs a full sweep; the
+// coarsening driver's stall check absorbs whatever residue is left.
+constexpr int kMaxRounds = 8;
+
+/// Symmetric per-edge score: both endpoints compute the same value for
+/// the shared edge, which (with the index tie-break) rules out preference
+/// cycles longer than 2.
+std::uint64_t edge_hash(std::uint64_t salt, int round, graph::Vertex u,
+                        graph::Vertex v) {
+  const graph::Vertex lo = u < v ? u : v;
+  const graph::Vertex hi = u < v ? v : u;
+  std::uint64_t h = salt ^ util::mix64(static_cast<std::uint64_t>(round) + 1);
+  h = util::hash_combine(h, lo);
+  h = util::hash_combine(h, hi);
+  // hash_combine's seed diffusion is too weak to push a low-bit salt
+  // difference into the high bits that decide `<` comparisons; the
+  // finalizer restores full avalanche so every salt reshuffles ties.
+  return util::mix64(h);
+}
+
+}  // namespace
+
+std::vector<graph::Vertex> parallel_matching(const graph::Graph& g,
+                                             MatchingScheme scheme,
+                                             std::uint64_t salt,
+                                             std::size_t threads) {
+  ETHSHARD_CHECK(!g.directed());
+  const std::uint64_t n = g.num_vertices();
+  std::vector<graph::Vertex> match(n, kNone);
+  if (n == 0) return match;
+
+  std::vector<graph::Vertex> pref(n, kNone);
+  std::vector<std::atomic<graph::Vertex>> claim(n);
+
+  for (int round = 0; round < kMaxRounds; ++round) {
+    // Pass 1: preferences, a pure function of the round-start state.
+    std::atomic<std::uint64_t> proposals{0};
+    util::parallel_for_chunked(
+        n, kGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          std::uint64_t local = 0;
+          for (graph::Vertex v = begin; v < end; ++v) {
+            pref[v] = kNone;
+            claim[v].store(kNone, std::memory_order_relaxed);
+            if (match[v] != kNone) continue;
+            graph::Vertex best = kNone;
+            graph::Weight best_w = 0;
+            std::uint64_t best_h = 0;
+            for (const graph::Arc& a : g.neighbors(v)) {
+              if (a.to == v || match[a.to] != kNone) continue;
+              const graph::Weight w =
+                  scheme == MatchingScheme::kHeavyEdge ? a.weight : 1;
+              const std::uint64_t h = edge_hash(salt, round, v, a.to);
+              const bool better =
+                  best == kNone || w > best_w ||
+                  (w == best_w &&
+                   (h < best_h || (h == best_h && a.to < best)));
+              if (better) {
+                best = a.to;
+                best_w = w;
+                best_h = h;
+              }
+            }
+            pref[v] = best;
+            if (best != kNone) ++local;
+          }
+          proposals.fetch_add(local, std::memory_order_relaxed);
+        },
+        threads);
+    if (proposals.load(std::memory_order_relaxed) == 0) break;
+
+    // Pass 2: CAS min-claim — the lowest-index proposer wins each target,
+    // whatever order the CAS attempts land in.
+    util::parallel_for_chunked(
+        n, kGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (graph::Vertex v = begin; v < end; ++v) {
+            const graph::Vertex u = pref[v];
+            if (u == kNone) continue;
+            graph::Vertex cur = claim[u].load(std::memory_order_relaxed);
+            while (v < cur &&
+                   !claim[u].compare_exchange_weak(
+                       cur, v, std::memory_order_relaxed)) {
+            }
+          }
+        },
+        threads);
+
+    // Pass 3: pair formation. (v, u=pref[v]) pairs iff v won u's claim
+    // and either the claims are mutual (the smaller index writes) or u's
+    // own proposal lost (second chance; u pairs nowhere else, so the
+    // writes below touch each vertex at most once).
+    std::atomic<std::uint64_t> paired{0};
+    util::parallel_for_chunked(
+        n, kGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          std::uint64_t local = 0;
+          for (graph::Vertex v = begin; v < end; ++v) {
+            const graph::Vertex u = pref[v];
+            if (u == kNone) continue;
+            if (claim[u].load(std::memory_order_relaxed) != v) continue;
+            bool take = false;
+            if (claim[v].load(std::memory_order_relaxed) == u) {
+              take = v < u;  // mutual: one writer
+            } else {
+              const graph::Vertex w = pref[u];
+              const bool u_won =
+                  w != kNone &&
+                  claim[w].load(std::memory_order_relaxed) == u;
+              take = !u_won;
+            }
+            if (take) {
+              match[v] = u;
+              match[u] = v;
+              ++local;
+            }
+          }
+          paired.fetch_add(local, std::memory_order_relaxed);
+        },
+        threads);
+    if (paired.load(std::memory_order_relaxed) == 0) break;
+  }
+
+  // Leftovers coarsen as singletons.
+  util::parallel_for_chunked(
+      n, kGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (graph::Vertex v = begin; v < end; ++v)
+          if (match[v] == kNone) match[v] = v;
+      },
+      threads);
+  return match;
+}
+
+}  // namespace ethshard::partition

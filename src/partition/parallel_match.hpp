@@ -1,0 +1,45 @@
+// Deterministic parallel matching for multilevel coarsening (mt-MLKP).
+//
+// Round-based handshake matching with CAS-claimed vertices. Each round:
+//
+//   1. every unmatched vertex v computes its preferred unmatched
+//      neighbour pref[v] from the round-start state — heaviest incident
+//      edge first, ties broken by a salted symmetric edge hash and then
+//      by the smaller vertex index (so both endpoints rank the shared
+//      edge identically);
+//   2. v CAS-claims pref[v]; concurrent claimants race, but the CAS loop
+//      implements a min-reduction, so the *lowest-index* proposer wins
+//      regardless of scheduling;
+//   3. pairs form from mutually-claiming vertices, plus claim winners
+//      whose target's own proposal failed (a second chance that keeps
+//      the matching near-maximal without conflicts).
+//
+// Every step is either a pure function of the round-start state or an
+// order-independent min-reduction, so for a fixed (graph, scheme, salt)
+// the matching is bit-identical for every thread count — the invariance
+// the mt-MLKP test suite leans on. Because preferences follow a shared
+// total order on edges (weight desc, hash asc, index asc), the
+// preference graph has no cycles longer than 2, which guarantees at
+// least one pair forms whenever any proposal exists, so the round loop
+// terminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/coarsen.hpp"
+
+namespace ethshard::partition {
+
+/// Computes a matching of `g` (undirected, no self-loop partners):
+/// match[v] == u and match[u] == v for a matched pair, match[v] == v for
+/// a singleton. `salt` randomizes tie-breaks between equal-weight edges
+/// (draw it from the partitioner RNG once per level). Deterministic for
+/// fixed (g, scheme, salt) regardless of `threads` (0 = hardware).
+std::vector<graph::Vertex> parallel_matching(const graph::Graph& g,
+                                             MatchingScheme scheme,
+                                             std::uint64_t salt,
+                                             std::size_t threads);
+
+}  // namespace ethshard::partition

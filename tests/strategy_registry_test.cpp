@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "core/strategies.hpp"
 #include "core/strategy_registry.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 #include "util/sim_time.hpp"
 
 namespace {
@@ -166,6 +169,127 @@ TEST(StrategyRegistryTest, RejectsDuplicateRegistration) {
         });
       },
       "already registered");
+}
+
+// ------------------------------------------------- randomized round-trips
+
+/// Pulls the MlkpConfig out of whichever MLKP-backed strategy `s` is.
+const partition::MlkpConfig& mlkp_config_of(core::ShardingStrategy& s) {
+  if (auto* w = dynamic_cast<core::WindowMlkpStrategy*>(&s))
+    return w->mlkp_config();
+  if (auto* f = dynamic_cast<core::FullGraphMlkpStrategy*>(&s))
+    return f->mlkp_config();
+  auto* t = dynamic_cast<core::ThresholdMlkpStrategy*>(&s);
+  EXPECT_NE(t, nullptr) << "not an MLKP-backed strategy: " << s.name();
+  return t->mlkp_config();
+}
+
+TEST(StrategyRegistryTest, RandomizedMlkpSpecsRoundTrip) {
+  // Every value written into a random spec must come back out of the
+  // built strategy's config — the spec grammar round-trips.
+  const char* kNames[] = {"metis", "r-metis", "p-metis", "tr-metis"};
+  const char* kImbalances[] = {"0.01", "0.03", "0.05", "0.1", "0.25"};
+  util::Rng rng(2026);
+  for (int i = 0; i < 48; ++i) {
+    const std::string name = kNames[rng.uniform(4)];
+    const std::string imbalance = kImbalances[rng.uniform(5)];
+    const std::uint64_t coarsen_to = 100 + rng.uniform(400);
+    const int init_tries = static_cast<int>(1 + rng.uniform(6));
+    const int refine_passes = static_cast<int>(1 + rng.uniform(8));
+    const bool refine = rng.uniform(2) == 0;
+    const std::uint64_t threads = rng.uniform(9);  // 0 = hardware, 1..8
+    const bool heavy = rng.uniform(2) == 0;
+
+    std::ostringstream spec;
+    spec << name << ":imbalance=" << imbalance
+         << ",coarsen_to=" << coarsen_to << ",init_tries=" << init_tries
+         << ",refine_passes=" << refine_passes
+         << ",refine=" << (refine ? "true" : "false")
+         << ",threads=" << threads
+         << ",matching=" << (heavy ? "heavy-edge" : "random");
+    const auto s = StrategyRegistry::global().make(spec.str(), 7);
+    ASSERT_NE(s, nullptr) << spec.str();
+
+    const partition::MlkpConfig& cfg = mlkp_config_of(*s);
+    EXPECT_DOUBLE_EQ(cfg.imbalance, std::strtod(imbalance.c_str(), nullptr))
+        << spec.str();
+    EXPECT_EQ(cfg.coarsen_to, coarsen_to) << spec.str();
+    EXPECT_EQ(cfg.init_tries, init_tries) << spec.str();
+    EXPECT_EQ(cfg.refine_passes, refine_passes) << spec.str();
+    EXPECT_EQ(cfg.refine, refine) << spec.str();
+    EXPECT_EQ(cfg.threads, threads) << spec.str();
+    EXPECT_EQ(cfg.matching, heavy ? partition::MatchingScheme::kHeavyEdge
+                                  : partition::MatchingScheme::kRandom)
+        << spec.str();
+    EXPECT_EQ(cfg.seed, 7u) << spec.str();
+  }
+}
+
+TEST(StrategyRegistryTest, RandomizedTrMetisThresholdsRoundTrip) {
+  util::Rng rng(4242);
+  for (int i = 0; i < 24; ++i) {
+    const std::uint64_t min_interactions = rng.uniform(50);
+    const int violations = static_cast<int>(1 + rng.uniform(10));
+    const std::uint64_t gap_days = 1 + rng.uniform(13);
+    std::ostringstream spec;
+    spec << "tr-metis:min_interactions=" << min_interactions
+         << ",violations_required=" << violations
+         << ",min_gap_days=" << gap_days;
+    const auto s = StrategyRegistry::global().make(spec.str(), 7);
+    const auto* tr = dynamic_cast<core::ThresholdMlkpStrategy*>(s.get());
+    ASSERT_NE(tr, nullptr) << spec.str();
+    EXPECT_EQ(tr->thresholds().min_interactions, min_interactions);
+    EXPECT_EQ(tr->thresholds().violations_required, violations);
+    EXPECT_EQ(tr->thresholds().min_gap, gap_days * util::kDay);
+  }
+}
+
+// --------------------------------------------------------- threads param
+
+TEST(StrategyRegistryTest, DefaultThreadsReachesMlkpConfig) {
+  // The make() default applies when the spec stays silent...
+  const auto a = StrategyRegistry::global().make("r-metis", 7, 4);
+  EXPECT_EQ(mlkp_config_of(*a).threads, 4u);
+  // ...an explicit spec key wins over the default...
+  const auto b = StrategyRegistry::global().make("r-metis:threads=2", 7, 8);
+  EXPECT_EQ(mlkp_config_of(*b).threads, 2u);
+  // ...and with neither, MLKP stays serial.
+  const auto c = StrategyRegistry::global().make("metis", 7);
+  EXPECT_EQ(mlkp_config_of(*c).threads, 1u);
+  // The P-METIS alias takes the same keys as its canonical name.
+  const auto d = StrategyRegistry::global().make("p-metis:threads=3", 7);
+  EXPECT_EQ(d->name(), "R-METIS");
+  EXPECT_EQ(mlkp_config_of(*d).threads, 3u);
+}
+
+TEST(StrategyRegistryTest, BadThreadsValuesAreNamed) {
+  expect_failure_mentioning(
+      [] { StrategyRegistry::global().make("r-metis:threads=abc", 7); },
+      "key 'threads'");
+  expect_failure_mentioning(
+      [] { StrategyRegistry::global().make("metis:threads=4096", 7); },
+      "not plausible");
+  // Strategies without a partitioner reject the key outright.
+  expect_failure_mentioning(
+      [] { StrategyRegistry::global().make("hashing:threads=4", 7); },
+      "unknown key 'threads'");
+  expect_failure_mentioning(
+      [] { StrategyRegistry::global().make("kl:threads=4", 7); },
+      "unknown key 'threads'");
+}
+
+TEST(StrategyRegistryTest, MalformedSpecsNameTheOffendingToken) {
+  expect_failure_mentioning(
+      [] { StrategyRegistry::global().make("r-metis:threads", 7); },
+      "'threads' is not of the form key=value");
+  expect_failure_mentioning(
+      [] {
+        StrategyRegistry::global().make("r-metis:threads=1,threads=2", 7);
+      },
+      "repeats key 'threads'");
+  expect_failure_mentioning(
+      [] { StrategyRegistry::global().make("r-metis:threads=-2", 7); },
+      "non-negative integer");
 }
 
 TEST(StrategyRegistryTest, CustomStrategiesPlugIn) {

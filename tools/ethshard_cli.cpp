@@ -85,7 +85,15 @@ int usage() {
       "  --metrics-out PATH   enable metrics; write counters/gauges/timers\n"
       "                       as JSON on exit\n"
       "  --trace-out PATH     enable tracing; write Chrome trace-event\n"
-      "                       JSON (chrome://tracing, Perfetto) on exit\n");
+      "                       JSON (chrome://tracing, Perfetto) on exit\n"
+      "\n"
+      "parallelism (any command):\n"
+      "  --threads N          thread budget: mt-MLKP partitioner threads\n"
+      "                       for simulate/partition, grid workers for\n"
+      "                       compare (whose partitioners auto-fit the\n"
+      "                       leftover budget). 0 (default) = serial\n"
+      "                       partitioner / hardware-sized grid. Results\n"
+      "                       never depend on N (mt-MLKP determinism)\n");
   return 2;
 }
 
@@ -223,8 +231,13 @@ int cmd_simulate(const util::ArgParser& args) {
 
   // --method takes a registry spec: a bare name ("R-METIS", or the
   // paper-figure alias "P-METIS") or name:key=value,... for tuning.
+  // --threads sets the mt-MLKP partitioner threads unless the spec's own
+  // "threads=" key overrides it (0 = keep the serial default).
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_uint("threads", 0));
   const auto strategy = core::StrategyRegistry::global().make(
-      args.get("method", "R-METIS"), args.get_uint("seed", 7));
+      args.get("method", "R-METIS"), args.get_uint("seed", 7),
+      threads == 0 ? 1 : threads);
   core::SimulatorConfig cfg;
   cfg.k = k;
   core::ShardingSimulator sim(history, *strategy, cfg);
@@ -283,10 +296,16 @@ int cmd_partition(const util::ArgParser& args) {
               static_cast<unsigned long long>(g.num_vertices()),
               static_cast<unsigned long long>(g.num_edges()));
 
+  // --threads feeds the mt-MLKP phases; the other one-shot partitioners
+  // are serial and ignore it.
+  partition::MlkpConfig mlkp_cfg;
+  mlkp_cfg.threads = static_cast<std::size_t>(args.get_uint("threads", 0));
+  if (mlkp_cfg.threads == 0) mlkp_cfg.threads = 1;
+
   std::vector<std::unique_ptr<partition::Partitioner>> methods;
   methods.push_back(std::make_unique<partition::HashPartitioner>());
   methods.push_back(std::make_unique<partition::KernighanLinPartitioner>());
-  methods.push_back(std::make_unique<partition::MlkpPartitioner>());
+  methods.push_back(std::make_unique<partition::MlkpPartitioner>(mlkp_cfg));
   methods.push_back(std::make_unique<partition::SpectralPartitioner>());
   methods.push_back(std::make_unique<partition::LdgPartitioner>());
   methods.push_back(std::make_unique<partition::FennelPartitioner>());
@@ -406,6 +425,10 @@ int cmd_compare(const util::ArgParser& args) {
   core::ExperimentConfig cfg;
   cfg.seed = args.get_uint("seed", 7);
   if (args.get_bool("gas", false)) cfg.load_model = core::LoadModel::kGas;
+  // --threads sizes the grid; each cell's partitioner auto-fits whatever
+  // hardware budget the grid workers leave (never oversubscribing).
+  cfg.threads = static_cast<std::size_t>(args.get_uint("threads", 0));
+  cfg.partitioner_threads = 0;
 
   const std::string shards = args.get("shards", "2,4,8");
   cfg.shard_counts.clear();
@@ -455,6 +478,15 @@ int main(int argc, char** argv) {
     const std::string trace_out = args.get("trace-out", "");
     if (!metrics_out.empty()) obs::set_enabled(true);
     if (!trace_out.empty()) obs::set_trace_enabled(true);
+
+    // --threads is accepted by every subcommand (commands that have no
+    // parallel phase simply ignore it); validate it once, up front.
+    const std::uint64_t threads_flag = args.get_uint("threads", 0);
+    ETHSHARD_CHECK_MSG(threads_flag <= 1024,
+                       "--threads " << threads_flag
+                                    << " is not plausible — use 0 for the "
+                                       "default (serial partitioner / "
+                                       "hardware-sized grid)");
 
     int rc;
     if (command == "generate") {
