@@ -218,6 +218,12 @@ void ShardingSimulator::recompute_static_cut() {
 
 void ShardingSimulator::flush_window(util::Timestamp window_end) {
   ETHSHARD_OBS_TIMER("sim/flush_window_ms");
+  const auto wall_now = std::chrono::steady_clock::now();
+  const double window_wall_ms =
+      std::chrono::duration<double, std::milli>(wall_now -
+                                                window_wall_start_)
+          .count();
+  window_wall_start_ = wall_now;
   if (static_cut_dirty_) {
     recompute_static_cut();
     static_cut_dirty_ = false;
@@ -253,12 +259,33 @@ void ShardingSimulator::flush_window(util::Timestamp window_end) {
   window_metrics_.reset();
   window_start_ = window_end;
 
-  maybe_repartition(snapshot);
+  const bool repartitioned = maybe_repartition(snapshot);
+
+  if (cfg_.telemetry != nullptr) {
+    WindowTelemetry tel;
+    tel.window_start = sample.window_start;
+    tel.window_end = sample.window_end;
+    tel.interactions = sample.interactions;
+    tel.recorded = record;
+    tel.dynamic_edge_cut = sample.dynamic_edge_cut;
+    tel.dynamic_balance = sample.dynamic_balance;
+    tel.static_edge_cut = sample.static_edge_cut;
+    tel.static_balance = sample.static_balance;
+    tel.window_wall_ms = window_wall_ms;
+    tel.repartition = repartitioned;
+    if (repartitioned) {
+      const RepartitionEvent& ev = result_.repartitions.back();
+      tel.partitioner_ms = ev.compute_ms;
+      tel.moves = ev.moves;
+      tel.moved_state_units = ev.moved_state_units;
+    }
+    cfg_.telemetry->write_window(tel);
+  }
 }
 
-void ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
+bool ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
   Env env(*this);
-  if (!strategy_.should_repartition(snapshot, env)) return;
+  if (!strategy_.should_repartition(snapshot, env)) return false;
 
   ETHSHARD_OBS_SPAN("sim/repartition");
   const auto wall_start = std::chrono::steady_clock::now();
@@ -311,6 +338,8 @@ void ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
   result_.total_moved_state_units += moved_state;
   ETHSHARD_OBS_COUNT("sim/repartitions", 1);
   ETHSHARD_OBS_COUNT("sim/moves", moves);
+  ETHSHARD_OBS_HIST("sim/repartition_moves", moves);
+  return true;
 }
 
 SimulationResult ShardingSimulator::run() {
@@ -326,6 +355,7 @@ SimulationResult ShardingSimulator::run() {
 
   window_start_ = blocks.front().timestamp;
   last_repartition_ = window_start_;
+  window_wall_start_ = std::chrono::steady_clock::now();
 
   for (const eth::Block& block : blocks) {
     now_ = block.timestamp;

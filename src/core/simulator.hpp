@@ -8,11 +8,13 @@
 // every repartition. This is what produces the data behind Figs. 3–5.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/strategy.hpp"
+#include "core/telemetry.hpp"
 #include "graph/builder.hpp"
 #include "metrics/metrics.hpp"
 #include "partition/types.hpp"
@@ -42,6 +44,10 @@ struct SimulatorConfig {
   /// (its structural reshuffling — the paper's METIS pitfall — still
   /// counts in full).
   bool align_repartition_labels = true;
+  /// Optional streaming sink: when set, the simulator writes one JSONL
+  /// record per evaluation window as it completes (see core/telemetry.hpp
+  /// for the schema). Not owned; must outlive the simulator.
+  TelemetrySink* telemetry = nullptr;
 };
 
 /// One metric sample (a data point in Fig. 3).
@@ -121,7 +127,9 @@ class ShardingSimulator {
   void place_vertex(graph::Vertex v,
                     std::span<const partition::ShardId> peers);
   void flush_window(util::Timestamp window_end);
-  void maybe_repartition(const WindowSnapshot& snapshot);
+  /// Returns true when the strategy repartitioned (the event is then the
+  /// back of result_.repartitions).
+  bool maybe_repartition(const WindowSnapshot& snapshot);
   void recompute_static_cut();
   double current_static_balance() const;
 
@@ -153,6 +161,8 @@ class ShardingSimulator {
   util::Timestamp now_ = 0;
   util::Timestamp window_start_ = 0;
   util::Timestamp last_repartition_ = 0;
+  /// Wall-clock start of the current window's replay (telemetry).
+  std::chrono::steady_clock::time_point window_wall_start_{};
 
   SimulationResult result_;
   bool ran_ = false;

@@ -1,0 +1,75 @@
+// Streaming per-window telemetry for the simulator.
+//
+// The paper's whole evaluation is a per-window time series; the
+// end-of-run SimulationResult only materializes it after the fact. A
+// TelemetrySink makes the same series observable *while* a long replay
+// runs: the simulator emits one JSON object per evaluation window
+// (JSONL, flushed per line), so a multi-hour run can be tailed
+// (`tail -f`) and post-processed (`jq`, pandas) without waiting for the
+// run to finish — and a crashed run still leaves every completed window
+// on disk.
+//
+// Schema (one line per window flush, keys in fixed order):
+//   {"v": 1, "seq": N, "window_start": s, "window_end": s,
+//    "interactions": N, "recorded": bool, "dynamic_edge_cut": f,
+//    "dynamic_balance": f, "static_edge_cut": f, "static_balance": f,
+//    "window_wall_ms": f, "repartition": bool, "partitioner_ms": f,
+//    "moves": N, "moved_state_units": N}
+// "recorded" mirrors SimulatorConfig::skip_empty_windows — false marks
+// a window that produced no WindowSample (no traffic). "v" is the
+// schema version; consumers should ignore unknown keys.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ethshard::core {
+
+/// One evaluation window's record, filled by the simulator.
+struct WindowTelemetry {
+  std::uint64_t window_start = 0;
+  std::uint64_t window_end = 0;
+  std::uint64_t interactions = 0;
+  /// False for windows suppressed by skip_empty_windows.
+  bool recorded = true;
+  double dynamic_edge_cut = 0;
+  double dynamic_balance = 1;
+  double static_edge_cut = 0;
+  double static_balance = 1;
+  /// Wall-clock time spent replaying this window (transaction processing
+  /// since the previous flush plus this flush's metric computation).
+  double window_wall_ms = 0;
+  /// Whether the strategy repartitioned at this window boundary.
+  bool repartition = false;
+  /// Wall-clock cost of compute_partition when repartition fired.
+  double partitioner_ms = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t moved_state_units = 0;
+};
+
+/// Append-only JSONL writer. Thread-safe (a mutex per write); each line
+/// is flushed so external tails see windows as they complete.
+class TelemetrySink {
+ public:
+  /// Streams to `out`, which must outlive the sink.
+  explicit TelemetrySink(std::ostream& out);
+  /// Opens `path` for writing (truncates); throws util::CheckFailure if
+  /// the file cannot open.
+  static std::unique_ptr<TelemetrySink> open(const std::string& path);
+
+  /// Writes one JSONL record; assigns the next sequence number.
+  void write_window(const WindowTelemetry& w);
+
+  std::uint64_t records_written() const;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  mutable std::mutex mu_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ethshard::core

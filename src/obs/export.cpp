@@ -75,7 +75,24 @@ void write_metrics_json(std::ostream& out,
         << ", \"total_ms\": " << json_double(t.total_ms)
         << ", \"mean_ms\": " << json_double(t.mean_ms())
         << ", \"min_ms\": " << json_double(t.min_ms)
-        << ", \"max_ms\": " << json_double(t.max_ms) << "}";
+        << ", \"max_ms\": " << json_double(t.max_ms)
+        << ", \"p50_ms\": " << json_double(t.quantile_ms(0.50))
+        << ", \"p90_ms\": " << json_double(t.quantile_ms(0.90))
+        << ", \"p99_ms\": " << json_double(t.quantile_ms(0.99)) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << h.count()
+        << ", \"sum\": " << json_double(h.sum())
+        << ", \"mean\": " << json_double(h.mean())
+        << ", \"min\": " << json_double(h.min())
+        << ", \"max\": " << json_double(h.max())
+        << ", \"p50\": " << json_double(h.quantile(0.50))
+        << ", \"p90\": " << json_double(h.quantile(0.90))
+        << ", \"p99\": " << json_double(h.quantile(0.99)) << "}";
     first = false;
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
@@ -84,20 +101,30 @@ void write_metrics_json(std::ostream& out,
 void write_metrics_csv(std::ostream& out,
                        const MetricsSnapshot& snapshot) {
   util::CsvWriter csv(out);
-  csv.write_row({"kind", "name", "count", "value", "min_ms", "max_ms"});
+  csv.write_row({"kind", "name", "count", "value", "min", "max", "p50",
+                 "p90", "p99"});
   for (const auto& [name, v] : snapshot.counters) {
     csv.field("counter").field(name).field(v).field(std::uint64_t{0});
-    csv.field(0.0).field(0.0);
+    csv.field(0.0).field(0.0).field(0.0).field(0.0).field(0.0);
     csv.end_row();
   }
   for (const auto& [name, v] : snapshot.gauges) {
     csv.field("gauge").field(name).field(std::uint64_t{0}).field(v);
-    csv.field(0.0).field(0.0);
+    csv.field(0.0).field(0.0).field(0.0).field(0.0).field(0.0);
     csv.end_row();
   }
   for (const auto& [name, t] : snapshot.timers) {
     csv.field("timer").field(name).field(t.count).field(t.total_ms);
     csv.field(t.min_ms).field(t.max_ms);
+    csv.field(t.quantile_ms(0.50)).field(t.quantile_ms(0.90));
+    csv.field(t.quantile_ms(0.99));
+    csv.end_row();
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    csv.field("histogram").field(name).field(h.count()).field(h.sum());
+    csv.field(h.min()).field(h.max());
+    csv.field(h.quantile(0.50)).field(h.quantile(0.90));
+    csv.field(h.quantile(0.99));
     csv.end_row();
   }
 }
@@ -122,6 +149,13 @@ void write_metrics_json_file(const std::string& path,
   std::ofstream out(path);
   ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path);
   write_metrics_json(out, snapshot);
+}
+
+void write_metrics_csv_file(const std::string& path,
+                            const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path);
+  write_metrics_csv(out, snapshot);
 }
 
 void write_trace_json_file(const std::string& path,

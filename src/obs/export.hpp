@@ -15,10 +15,13 @@
 namespace ethshard::obs {
 
 /// {"counters": {...}, "gauges": {...}, "timers": {name: {count,
-/// total_ms, mean_ms, min_ms, max_ms}, ...}}
+/// total_ms, mean_ms, min_ms, max_ms, p50_ms, p90_ms, p99_ms}, ...},
+/// "histograms": {name: {count, sum, mean, min, max, p50, p90, p99},
+/// ...}}. Keys inside each section are emitted in sorted order (the
+/// snapshot maps are ordered), so exports diff cleanly run to run.
 void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
 
-/// Flat rows: kind,name,count,value_or_total_ms,min_ms,max_ms.
+/// Flat rows: kind,name,count,value_or_total,min,max,p50,p90,p99.
 void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
 
 /// Chrome trace-event JSON: {"traceEvents": [{"name", "ph": "X", "ts",
@@ -29,6 +32,8 @@ void write_trace_json(std::ostream& out,
 /// File conveniences; throw util::CheckFailure if the file cannot open.
 void write_metrics_json_file(const std::string& path,
                              const MetricsSnapshot& snapshot);
+void write_metrics_csv_file(const std::string& path,
+                            const MetricsSnapshot& snapshot);
 void write_trace_json_file(const std::string& path,
                            const std::vector<SpanRecord>& spans);
 

@@ -1,0 +1,88 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ethshard::obs {
+
+namespace {
+
+/// Lower bound of bucket `idx` (idx >= 1): 2^((idx - 1)/kSubBuckets + kMinExp).
+double bucket_lower(int idx) {
+  const double exp2arg =
+      static_cast<double>(idx - 1) / Histogram::kSubBuckets +
+      Histogram::kMinExp;
+  return std::exp2(exp2arg);
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0)) return 0;  // zero, negatives, NaN → underflow bucket
+  // Scaled log2: bucket b (b >= 1) covers [2^((b-1)/S + kMinExp),
+  // 2^(b/S + kMinExp)).
+  const double scaled =
+      (std::log2(value) - kMinExp) * static_cast<double>(kSubBuckets);
+  if (scaled < 0) return 0;
+  const int idx = static_cast<int>(scaled) + 1;
+  return std::min(idx, kBucketCount - 1);
+}
+
+void Histogram::record(double value) {
+  if (buckets_.empty()) buckets_.assign(kBucketCount, 0);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0) return min_;
+  if (q >= 1) return max_;
+
+  // Rank of the requested sample, 1-based; ceil so p50 of two samples is
+  // the first (lower) one and quantiles are monotone in q.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative < target) continue;
+    double value;
+    if (i == 0) {
+      value = min_;  // underflow bucket: every sample is <= 2^kMinExp
+    } else {
+      // Geometric midpoint of the bucket's bounds.
+      const double lo = bucket_lower(i);
+      const double hi = bucket_lower(i + 1);
+      value = std::sqrt(lo * hi);
+    }
+    return std::clamp(value, min_, max_);
+  }
+  return max_;  // unreachable: cumulative == count_ by the last bucket
+}
+
+}  // namespace ethshard::obs

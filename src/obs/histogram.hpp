@@ -1,0 +1,69 @@
+// Mergeable log-bucketed histogram for latency/size distributions.
+//
+// Values land in geometric buckets — kSubBuckets per power of two — so a
+// recorded sample is attributed to a bucket whose bounds are within
+// 2^(1/kSubBuckets) ≈ 9% of its true value, over a range of 2^-16
+// (~15 ns in ms units) to 2^40 (~35 years in ms units). Everything the
+// snapshot path needs is additive: two histograms recorded on different
+// threads (or in different processes) merge by summing bucket counts, so
+// the Registry can shard recording per thread and still answer
+// p50/p90/p99/max queries over the union.
+//
+// Exact count/sum/min/max are carried alongside the buckets; only the
+// interior quantiles are approximate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ethshard::obs {
+
+class Histogram {
+ public:
+  /// Buckets per power of two; 8 bounds the per-bucket relative error at
+  /// 2^(1/8)-1 ≈ 9%.
+  static constexpr int kSubBuckets = 8;
+  /// Smallest / largest finite-resolution magnitudes: 2^kMinExp .. 2^kMaxExp.
+  static constexpr int kMinExp = -16;
+  static constexpr int kMaxExp = 40;
+  /// Bucket 0 holds v <= 2^kMinExp (including zero and negatives); the
+  /// last bucket holds v >= 2^kMaxExp.
+  static constexpr int kBucketCount = (kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  /// Adds one sample. Non-positive values are legal and count toward the
+  /// underflow bucket (and toward min/sum exactly).
+  void record(double value);
+
+  /// Sums `other` into this histogram (bucket-wise; min/max/sum/count
+  /// combine exactly).
+  void merge(const Histogram& other);
+
+  bool empty() const { return count_ == 0; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1]: q=0 → min, q=1 → max, interior
+  /// quantiles → the geometric midpoint of the bucket containing the
+  /// rank-ceil(q·count) sample, clamped to [min, max]. Returns 0 when
+  /// empty.
+  double quantile(double q) const;
+
+  /// Bucket a value would land in — exposed for tests.
+  static int bucket_index(double value);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  /// Sized to kBucketCount on first record; empty histograms stay tiny so
+  /// snapshots of registries with many idle names are cheap to copy.
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace ethshard::obs

@@ -82,6 +82,15 @@ class ScopedTimer {
       ::ethshard::obs::current().record_ms((name), (ms));      \
   } while (0)
 
+/// Records one sample in the named histogram (any unit: counts, depths,
+/// durations). Distributions answer p50/p90/p99/max in the snapshot.
+#define ETHSHARD_OBS_HIST(name, value)                          \
+  do {                                                          \
+    if (::ethshard::obs::enabled())                             \
+      ::ethshard::obs::current().record_hist(                   \
+          (name), static_cast<double>(value));                  \
+  } while (0)
+
 /// Times the enclosing scope under `name`.
 #define ETHSHARD_OBS_TIMER(name)          \
   ::ethshard::obs::ScopedTimer ETHSHARD_OBS_CONCAT(obs_timer_, \
@@ -102,6 +111,9 @@ class ScopedTimer {
   } while (0)
 #define ETHSHARD_OBS_RECORD_MS(name, ms) \
   do {                                   \
+  } while (0)
+#define ETHSHARD_OBS_HIST(name, value) \
+  do {                                 \
   } while (0)
 #define ETHSHARD_OBS_TIMER(name) \
   do {                           \

@@ -2,6 +2,9 @@
 
 #include <atomic>
 
+#include "obs/obs.hpp"
+#include "util/parallel.hpp"
+
 namespace ethshard::obs {
 
 namespace {
@@ -9,12 +12,33 @@ namespace {
 std::atomic<bool> g_enabled{false};
 std::atomic<std::uint64_t> g_next_registry_id{1};
 
+// Adapter the parallel runtime calls back into (util cannot depend on
+// obs, so obs installs these when recording is switched on). Worker
+// threads have no ScopedRegistry of their own, so samples land in
+// whatever registry current() resolves to on that thread — the global
+// one in practice.
+void parallel_record_hist(const char* name, double value) {
+  if (enabled()) current().record_hist(name, value);
+}
+
+void parallel_add_count(const char* name, std::uint64_t delta) {
+  if (enabled()) current().add_counter(name, delta);
+}
+
+constexpr util::ParallelTelemetryHooks kParallelHooks{
+    &parallel_record_hist, &parallel_add_count};
+
 }  // namespace
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
+#if ETHSHARD_OBS_ENABLED
+  // Hook the parallel runtime's pool telemetry in/out with the master
+  // switch so disabled runs pay nothing beyond one null-pointer check.
+  util::set_parallel_telemetry(on ? &kParallelHooks : nullptr);
+#endif
 }
 
 void TimerStat::add(double ms) {
@@ -27,6 +51,7 @@ void TimerStat::add(double ms) {
   }
   ++count;
   total_ms += ms;
+  hist.record(ms);
 }
 
 void TimerStat::merge(const TimerStat& other) {
@@ -39,12 +64,15 @@ void TimerStat::merge(const TimerStat& other) {
   if (other.max_ms > max_ms) max_ms = other.max_ms;
   count += other.count;
   total_ms += other.total_ms;
+  hist.merge(other.hist);
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, v] : other.counters) counters[name] += v;
   for (const auto& [name, v] : other.gauges) gauges[name] = v;
   for (const auto& [name, stat] : other.timers) timers[name].merge(stat);
+  for (const auto& [name, h] : other.histograms)
+    histograms[name].merge(h);
 }
 
 Registry::Registry()
@@ -84,6 +112,12 @@ void Registry::record_ms(std::string_view name, double ms) {
   sink.timers[std::string(name)].add(ms);
 }
 
+void Registry::record_hist(std::string_view name, double value) {
+  Sink& sink = local_sink();
+  const std::lock_guard<std::mutex> lock(sink.mu);
+  sink.histograms[std::string(name)].record(value);
+}
+
 void Registry::absorb(const MetricsSnapshot& snapshot) {
   const std::lock_guard<std::mutex> lock(mu_);
   absorbed_.merge(snapshot);
@@ -98,6 +132,8 @@ MetricsSnapshot Registry::snapshot() const {
     for (const auto& [name, v] : sink->gauges) out.gauges[name] = v;
     for (const auto& [name, stat] : sink->timers)
       out.timers[name].merge(stat);
+    for (const auto& [name, h] : sink->histograms)
+      out.histograms[name].merge(h);
   }
   return out;
 }
@@ -110,6 +146,7 @@ void Registry::reset() {
     sink->counters.clear();
     sink->gauges.clear();
     sink->timers.clear();
+    sink->histograms.clear();
   }
 }
 

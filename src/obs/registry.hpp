@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace ethshard::obs {
 
 /// Runtime master switch for metrics recording (default off). Cheap to
@@ -30,29 +32,38 @@ namespace ethshard::obs {
 bool enabled();
 void set_enabled(bool on);
 
-/// Aggregate of every record_ms() call made under one timer name.
+/// Aggregate of every record_ms() call made under one timer name. Exact
+/// count/total/min/max plus a log-bucketed distribution of the samples,
+/// so snapshots answer p50/p90/p99 as well as the mean.
 struct TimerStat {
   std::uint64_t count = 0;
   double total_ms = 0;
   double min_ms = 0;
   double max_ms = 0;
+  Histogram hist;
 
   double mean_ms() const {
     return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
   }
+  double quantile_ms(double q) const { return hist.quantile(q); }
   void add(double ms);
   void merge(const TimerStat& other);
 };
 
 /// Point-in-time view of a Registry, merged across threads. Ordered maps
-/// so exports and tests are deterministic.
+/// so exports and tests are deterministic (keys always sort).
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, TimerStat> timers;
+  /// Free-standing distributions recorded via record_hist — unit-less
+  /// values (queue depths, vertex counts, wait times) rather than the
+  /// scope durations timers capture.
+  std::map<std::string, Histogram> histograms;
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && timers.empty();
+    return counters.empty() && gauges.empty() && timers.empty() &&
+           histograms.empty();
   }
   void merge(const MetricsSnapshot& other);
 };
@@ -73,6 +84,9 @@ class Registry {
   void set_gauge(std::string_view name, double value);
   /// Records one duration sample under the named timer.
   void record_ms(std::string_view name, double ms);
+  /// Records one sample in the named histogram (values need not be
+  /// durations — counts, depths and sizes are equally at home).
+  void record_hist(std::string_view name, double value);
 
   /// Folds an external snapshot into this registry (e.g. a per-cell
   /// registry's totals into the process-wide one).
@@ -93,6 +107,7 @@ class Registry {
     std::unordered_map<std::string, std::uint64_t> counters;
     std::unordered_map<std::string, double> gauges;
     std::unordered_map<std::string, TimerStat> timers;
+    std::unordered_map<std::string, Histogram> histograms;
   };
 
   Sink& local_sink();

@@ -52,6 +52,10 @@ TraceBuffer& TraceBuffer::global() {
 
 void TraceBuffer::record(SpanRecord span) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (max_spans_ != 0 && spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
   spans_.push_back(std::move(span));
 }
 
@@ -63,11 +67,27 @@ std::vector<SpanRecord> TraceBuffer::snapshot() const {
 void TraceBuffer::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  dropped_ = 0;
 }
 
 std::size_t TraceBuffer::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return spans_.size();
+}
+
+void TraceBuffer::set_max_spans(std::size_t cap) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  max_spans_ = cap;
+}
+
+std::size_t TraceBuffer::max_spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_spans_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 ScopedSpan::ScopedSpan(const char* name) : active_(trace_enabled()) {

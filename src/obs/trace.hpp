@@ -35,20 +35,36 @@ struct SpanRecord {
   std::uint32_t depth = 0;
 };
 
-/// Process-wide store of completed spans.
+/// Process-wide store of completed spans. Growth is bounded: once
+/// max_spans() spans are buffered, further records are dropped and
+/// counted (a multi-hour --trace-out run degrades to a truncated trace
+/// instead of exhausting memory silently). The drop counter is surfaced
+/// in metrics exports as the "trace/dropped_spans" counter.
 class TraceBuffer {
  public:
+  /// ~1M spans ≈ 100 MB of paths/records — ample for any figure run.
+  static constexpr std::size_t kDefaultMaxSpans = 1 << 20;
+
   static TraceBuffer& global();
 
   void record(SpanRecord span);
   /// Copy of everything recorded so far, in completion order.
   std::vector<SpanRecord> snapshot() const;
+  /// Drops buffered spans and resets the drop counter.
   void clear();
   std::size_t size() const;
+
+  /// Buffered-span cap; 0 means unlimited.
+  void set_max_spans(std::size_t cap);
+  std::size_t max_spans() const;
+  /// Spans rejected because the buffer was full (since the last clear).
+  std::uint64_t dropped() const;
 
  private:
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
+  std::size_t max_spans_ = kDefaultMaxSpans;
+  std::uint64_t dropped_ = 0;
 };
 
 /// RAII span. `name` must outlive the span (string literals in practice).

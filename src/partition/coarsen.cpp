@@ -124,6 +124,9 @@ std::vector<CoarseLevel> coarsen_mt(const graph::Graph& g,
   std::vector<CoarseLevel> levels;
   const graph::Graph* cur = &g;
   while (cur->num_vertices() > target_vertices) {
+    ETHSHARD_OBS_SPAN("level");
+    const std::uint64_t fine_n = cur->num_vertices();
+    ETHSHARD_OBS_HIST("mlkp/level_vertices", fine_n);
     const std::uint64_t salt = rng.next();
     std::vector<graph::Vertex> match;
     {
@@ -137,6 +140,10 @@ std::vector<CoarseLevel> coarsen_mt(const graph::Graph& g,
       ETHSHARD_OBS_SPAN("contract");
       next = parallel_contract(*cur, match, threads);
     }
+    // Shrink factor of this level; a value near 1 means matching stalled.
+    ETHSHARD_OBS_HIST("mlkp/level_shrink",
+                      static_cast<double>(next.graph.num_vertices()) /
+                          static_cast<double>(fine_n));
     // Matching stalls (e.g. star graphs) → stop rather than loop forever.
     if (next.graph.num_vertices() >
         static_cast<std::uint64_t>(0.95 * static_cast<double>(
@@ -145,6 +152,7 @@ std::vector<CoarseLevel> coarsen_mt(const graph::Graph& g,
     levels.push_back(std::move(next));
     cur = &levels.back().graph;
   }
+  ETHSHARD_OBS_COUNT("mlkp/coarsen_levels", levels.size());
   return levels;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
@@ -105,6 +106,10 @@ graph::Weight kway_refine_mt(const graph::Graph& g, Partition& p,
   const std::uint64_t n = g.num_vertices();
   const std::uint32_t k = p.k();
   if (n == 0 || k <= 1) return edge_cut_weight(g, p);
+
+  ETHSHARD_OBS_TIMER("mlkp/kway_refine_ms");
+  ETHSHARD_OBS_SPAN("kway_refine");
+  ETHSHARD_OBS_HIST("kway/vertices", n);
 
   std::vector<graph::Weight> weight = p.shard_weights(g);
   std::vector<std::uint64_t> count = p.shard_sizes();
@@ -227,6 +232,12 @@ graph::Weight kway_refine_mt(const graph::Graph& g, Partition& p,
         ++moved;
       }
     }
+    ETHSHARD_OBS_COUNT("kway/passes", 1);
+    std::uint64_t proposed = 0;
+    for (const auto& chunk_proposals : proposals)
+      proposed += chunk_proposals.size();
+    ETHSHARD_OBS_COUNT("kway/proposed", proposed);
+    ETHSHARD_OBS_COUNT("kway/applied", moved);
     if (moved == 0) break;
   }
   return edge_cut_weight(g, p);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
 #include "util/parallel.hpp"
@@ -50,6 +51,19 @@ std::vector<graph::Vertex> parallel_matching(const graph::Graph& g,
   std::vector<graph::Vertex> pref(n, kNone);
   std::vector<std::atomic<graph::Vertex>> claim(n);
 
+#if ETHSHARD_OBS_ENABLED
+  // Contention telemetry, aggregated with relaxed atomics and flushed as
+  // plain counters after the rounds complete. Counting never feeds back
+  // into matching decisions, so thread-invariance is untouched; the
+  // recorded *values* legitimately vary with scheduling (a CAS retry is
+  // a race observation), so tests must not pin them across thread counts.
+  std::atomic<std::uint64_t> obs_cas_retries{0};
+  std::atomic<std::uint64_t> obs_claim_conflicts{0};
+  std::uint64_t obs_rounds = 0;
+  std::uint64_t obs_proposals = 0;
+  std::uint64_t obs_paired = 0;
+#endif
+
   for (int round = 0; round < kMaxRounds; ++round) {
     // Pass 1: preferences, a pure function of the round-start state.
     std::atomic<std::uint64_t> proposals{0};
@@ -86,21 +100,43 @@ std::vector<graph::Vertex> parallel_matching(const graph::Graph& g,
         },
         threads);
     if (proposals.load(std::memory_order_relaxed) == 0) break;
+#if ETHSHARD_OBS_ENABLED
+    ++obs_rounds;
+    obs_proposals += proposals.load(std::memory_order_relaxed);
+#endif
 
     // Pass 2: CAS min-claim — the lowest-index proposer wins each target,
     // whatever order the CAS attempts land in.
     util::parallel_for_chunked(
         n, kGrain,
         [&](std::size_t, std::size_t begin, std::size_t end) {
+#if ETHSHARD_OBS_ENABLED
+          std::uint64_t local_retries = 0;
+          std::uint64_t local_conflicts = 0;
+#endif
           for (graph::Vertex v = begin; v < end; ++v) {
             const graph::Vertex u = pref[v];
             if (u == kNone) continue;
             graph::Vertex cur = claim[u].load(std::memory_order_relaxed);
+#if ETHSHARD_OBS_ENABLED
+            if (cur != kNone) ++local_conflicts;  // someone claimed first
+#endif
             while (v < cur &&
                    !claim[u].compare_exchange_weak(
                        cur, v, std::memory_order_relaxed)) {
+#if ETHSHARD_OBS_ENABLED
+              ++local_retries;
+#endif
             }
           }
+#if ETHSHARD_OBS_ENABLED
+          if (local_retries != 0)
+            obs_cas_retries.fetch_add(local_retries,
+                                      std::memory_order_relaxed);
+          if (local_conflicts != 0)
+            obs_claim_conflicts.fetch_add(local_conflicts,
+                                          std::memory_order_relaxed);
+#endif
         },
         threads);
 
@@ -136,8 +172,23 @@ std::vector<graph::Vertex> parallel_matching(const graph::Graph& g,
           paired.fetch_add(local, std::memory_order_relaxed);
         },
         threads);
+#if ETHSHARD_OBS_ENABLED
+    obs_paired += paired.load(std::memory_order_relaxed);
+#endif
     if (paired.load(std::memory_order_relaxed) == 0) break;
   }
+
+#if ETHSHARD_OBS_ENABLED
+  ETHSHARD_OBS_COUNT("pmatch/invocations", 1);
+  ETHSHARD_OBS_COUNT("pmatch/rounds", obs_rounds);
+  ETHSHARD_OBS_COUNT("pmatch/proposals", obs_proposals);
+  ETHSHARD_OBS_COUNT("pmatch/paired", 2 * obs_paired);  // vertices matched
+  ETHSHARD_OBS_COUNT("pmatch/claim_conflicts",
+                     obs_claim_conflicts.load(std::memory_order_relaxed));
+  ETHSHARD_OBS_COUNT("pmatch/cas_retries",
+                     obs_cas_retries.load(std::memory_order_relaxed));
+  ETHSHARD_OBS_HIST("pmatch/vertices", n);
+#endif
 
   // Leftovers coarsen as singletons.
   util::parallel_for_chunked(

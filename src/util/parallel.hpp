@@ -28,6 +28,23 @@ namespace ethshard::util {
 /// Hardware concurrency with a sane floor (the API never returns 0).
 std::size_t default_thread_count();
 
+/// Telemetry hooks for the parallel runtime. The obs layer links against
+/// util (not the other way round), so it installs these callbacks when
+/// metrics recording is switched on; with no table installed the runtime
+/// records nothing and pays one relaxed atomic load per dispatch.
+///
+/// Both callbacks are invoked concurrently from worker threads and must
+/// be thread-safe. The installed table must outlive every parallel call
+/// made while it is installed (obs uses a static table).
+struct ParallelTelemetryHooks {
+  void (*record_hist)(const char* name, double value);
+  void (*add_count)(const char* name, std::uint64_t delta);
+};
+
+/// Atomically installs (or, with nullptr, clears) the hook table.
+void set_parallel_telemetry(const ParallelTelemetryHooks* hooks);
+const ParallelTelemetryHooks* parallel_telemetry();
+
 /// Applies fn(index) for every index in [0, count) across `threads`
 /// workers (0 → default_thread_count()). Blocks until done. The first
 /// exception thrown by any worker is rethrown on the caller after all

@@ -28,8 +28,36 @@ endfunction()
 
 run_cli("wrote" generate --scale 0.0003 --seed 5 --out ${TRACE})
 run_cli("transactions" stats --trace ${TRACE})
+set(TELEMETRY "${WORKDIR}/windows.jsonl")
+set(METRICS_CSV "${WORKDIR}/metrics.csv")
 run_cli("moves" simulate --trace ${TRACE} --method Hashing --shards 2
-        --csv ${WINDOWS})
+        --csv ${WINDOWS} --telemetry-out ${TELEMETRY}
+        --metrics-out ${METRICS_CSV})
+
+# Streaming telemetry: one JSONL record per window, schema v1.
+if(NOT EXISTS ${TELEMETRY})
+  message(FATAL_ERROR "simulate --telemetry-out did not produce ${TELEMETRY}")
+endif()
+file(STRINGS ${TELEMETRY} telemetry_lines)
+list(LENGTH telemetry_lines telemetry_count)
+if(telemetry_count LESS 1)
+  message(FATAL_ERROR "telemetry file ${TELEMETRY} is empty")
+endif()
+foreach(line IN LISTS telemetry_lines)
+  if(NOT line MATCHES "^\\{\"v\": 1, \"seq\": [0-9]+, \"window_start\": ")
+    message(FATAL_ERROR "bad telemetry record: ${line}")
+  endif()
+endforeach()
+
+# --metrics-out with a .csv extension selects the CSV exporter.
+if(NOT EXISTS ${METRICS_CSV})
+  message(FATAL_ERROR "--metrics-out did not produce ${METRICS_CSV}")
+endif()
+file(STRINGS ${METRICS_CSV} metrics_lines LIMIT_COUNT 1)
+if(NOT metrics_lines STREQUAL "kind,name,count,value,min,max,p50,p90,p99")
+  message(FATAL_ERROR
+    "--metrics-out *.csv wrote a non-CSV header: ${metrics_lines}")
+endif()
 run_cli("commVolume" partition --trace ${TRACE} --shards 4 --method MLKP)
 run_cli("digraph" dot --trace ${TRACE} --from 2016-06-01 --to 2016-08-01
         --max-nodes 10)

@@ -1,0 +1,41 @@
+# Smoke test of the perf harness, run by ctest at a tiny scale:
+# perf_snapshot run -> schema-checked snapshot -> non-strict comparison
+# against the committed baseline (presence + schema only; timings from a
+# scaled-down run are advisory by construction).
+# Usage: cmake -DPERF=<perf_snapshot> -DBASELINE=<baseline.json>
+#              -DWORKDIR=<scratch> -P perf_smoke.cmake
+
+if(NOT DEFINED PERF OR NOT DEFINED BASELINE OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR
+    "perf_smoke.cmake needs -DPERF=... -DBASELINE=... -DWORKDIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(SNAPSHOT "${WORKDIR}/BENCH_smoke.json")
+
+execute_process(
+  COMMAND ${PERF} run --out ${SNAPSHOT} --reps 2
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perf_snapshot run failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS ${SNAPSHOT})
+  message(FATAL_ERROR "perf_snapshot run did not produce ${SNAPSHOT}")
+endif()
+
+execute_process(
+  COMMAND ${PERF} check --snapshot ${SNAPSHOT} --baseline ${BASELINE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "perf_snapshot check failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "smoke check passed")
+  message(FATAL_ERROR "unexpected check output:\n${out}")
+endif()
+
+message(STATUS "perf smoke test passed")

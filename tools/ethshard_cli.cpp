@@ -67,6 +67,8 @@ int usage() {
       "                            P-METIS = R-METIS; tunable, e.g.\n"
       "                            'tr-metis:cut_floor=0.25,min_gap_days=2')\n"
       "             --shards K (2)  [--csv PATH  per-window samples]\n"
+      "             [--telemetry-out PATH  streaming JSONL, one record\n"
+      "                                    per window as the replay runs]\n"
       "  partition  one-shot partition of the final graph, all methods\n"
       "             --shards K (2)  [--method NAME  single method]\n"
       "  dot        Graphviz subgraph export (Fig. 2 style)\n"
@@ -82,8 +84,9 @@ int usage() {
       "             --shards LIST (2,4,8)  [--gas  gas-based load]\n"
       "\n"
       "observability (any command):\n"
-      "  --metrics-out PATH   enable metrics; write counters/gauges/timers\n"
-      "                       as JSON on exit\n"
+      "  --metrics-out PATH   enable metrics; write counters/gauges/timers/\n"
+      "                       histograms on exit — JSON, or CSV when PATH\n"
+      "                       ends in .csv\n"
       "  --trace-out PATH     enable tracing; write Chrome trace-event\n"
       "                       JSON (chrome://tracing, Perfetto) on exit\n"
       "\n"
@@ -240,8 +243,19 @@ int cmd_simulate(const util::ArgParser& args) {
       threads == 0 ? 1 : threads);
   core::SimulatorConfig cfg;
   cfg.k = k;
+  std::unique_ptr<core::TelemetrySink> telemetry;
+  const std::string telemetry_path = args.get("telemetry-out", "");
+  if (!telemetry_path.empty()) {
+    telemetry = core::TelemetrySink::open(telemetry_path);
+    cfg.telemetry = telemetry.get();
+  }
   core::ShardingSimulator sim(history, *strategy, cfg);
   const core::SimulationResult r = sim.run();
+  if (telemetry)
+    std::printf("telemetry         -> %s (%llu windows)\n",
+                telemetry_path.c_str(),
+                static_cast<unsigned long long>(
+                    telemetry->records_written()));
 
   std::vector<double> cuts;
   std::vector<double> bals;
@@ -511,8 +525,18 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (!metrics_out.empty()) {
-      obs::write_metrics_json_file(metrics_out,
-                                   obs::Registry::global().snapshot());
+      obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+      // Surface span-buffer overflow: silence here would make a truncated
+      // trace look complete.
+      const std::uint64_t dropped = obs::TraceBuffer::global().dropped();
+      if (dropped > 0) snap.counters["trace/dropped_spans"] = dropped;
+      const bool csv = metrics_out.size() >= 4 &&
+                       metrics_out.compare(metrics_out.size() - 4, 4,
+                                           ".csv") == 0;
+      if (csv)
+        obs::write_metrics_csv_file(metrics_out, snap);
+      else
+        obs::write_metrics_json_file(metrics_out, snap);
       std::fprintf(stderr, "[ethshard] metrics -> %s\n",
                    metrics_out.c_str());
     }

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Run the tagged perf benches and compare against the committed baseline.
+#
+#   tools/perf_check.sh <build-dir> [--strict]
+#
+# Without --strict this is a smoke check (schema + every baseline bench
+# present; timings reported but advisory) — the mode CI runs, where
+# shared-runner noise makes hard thresholds flaky. With --strict any
+# bench exceeding its baseline wall_ms by more than its per-entry
+# tolerance factor fails the script; use that on dedicated hardware.
+#
+# Honours ETHSHARD_SCALE / ETHSHARD_SEED / ETHSHARD_PERF_REPS.
+set -eu
+
+BUILD=${1:?usage: tools/perf_check.sh <build-dir> [--strict]}
+shift
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SNAPSHOT=$(mktemp "${TMPDIR:-/tmp}/BENCH_check.XXXXXX.json")
+trap 'rm -f "$SNAPSHOT"' EXIT
+
+"$BUILD/tools/perf_snapshot" run --out "$SNAPSHOT"
+"$BUILD/tools/perf_snapshot" check \
+  --snapshot "$SNAPSHOT" \
+  --baseline "$ROOT/bench/baseline.json" \
+  "$@"
