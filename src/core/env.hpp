@@ -40,8 +40,10 @@ class SimulatorEnv {
   /// Snapshot of the full cumulative graph, symmetrized, with *unit*
   /// vertex weights and frequency edge weights — exactly what the paper
   /// feeds METIS (§II-C: edge weights target dynamic edge-cut; vertex
-  /// balance is static). O(n + m); call once per repartition.
-  virtual graph::Graph cumulative_graph() const = 0;
+  /// balance is static). The reference is to a cached snapshot rebuilt
+  /// only when edges were added since the last call (O(n + m) then, O(1)
+  /// otherwise); it stays valid until the next call.
+  virtual const graph::Graph& cumulative_graph() const = 0;
 
   /// Snapshot of the interactions since the last repartition, induced on
   /// active vertices, symmetrized, with *activity* vertex weights — the

@@ -27,17 +27,23 @@ class ShardingSimulator::Env final : public SimulatorEnv {
     return sim_.shard_loads_;
   }
 
-  graph::Graph cumulative_graph() const override {
-    return sim_.cumulative_.build_undirected();
+  const graph::Graph& cumulative_graph() const override {
+    return sim_.cumulative_snapshot();
   }
 
   WindowGraph window_graph() const override {
-    const graph::Graph directed = sim_.window_.build_directed();
+    // Active = touched by a call this window (endpoints always accrue
+    // activity weight). The induced symmetrized snapshot comes straight
+    // from the window builder's undirected adjacency, through scratch
+    // buffers that persist across windows.
+    std::vector<graph::Vertex>& active = sim_.window_active_;
+    active.clear();
+    for (graph::Vertex v = 0; v < sim_.window_.num_vertices(); ++v)
+      if (sim_.window_.vertex_weight(v) > 0) active.push_back(v);
     WindowGraph wg;
-    for (graph::Vertex v = 0; v < directed.num_vertices(); ++v)
-      if (directed.vertex_weight(v) > 0) wg.to_global.push_back(v);
-    wg.undirected =
-        directed.induced_subgraph(wg.to_global).to_undirected();
+    wg.undirected = sim_.window_.build_undirected_induced(
+        active, sim_.window_old_to_new_);
+    wg.to_global = active;
     return wg;
   }
 
@@ -67,12 +73,13 @@ void ShardingSimulator::apply_migration(graph::Vertex v,
                      "migrate: vertex not placed yet");
   if (from == s) return;
 
+  apply_cut_delta(v, from, s);
   part_.assign(v, s);
   --shard_counts_[from];
   ++shard_counts_[s];
   shard_loads_[from] -= activity_[v];
   shard_loads_[s] += activity_[v];
-  static_cut_dirty_ = true;
+  ETHSHARD_OBS_COUNT("sim/cut_delta_migrations", 1);
 
   const std::uint64_t state = 1 + activity_[v];
   ++result_.total_moves;
@@ -155,7 +162,13 @@ void ShardingSimulator::process_transaction(const eth::Transaction& tx) {
     if (cfg_.load_model == LoadModel::kGas)
       load = 1 + eth::call_gas(c, /*callee_exists=*/true) / 1000;
 
-    window_metrics_.record_interaction(sf, st, 1);
+    // Self-calls count toward traffic volume and activity but are
+    // excluded from the cut denominators — they can never cross shards
+    // (matching metrics::dynamic_edge_cut on the loop-free window graph).
+    if (c.from == c.to)
+      window_metrics_.record_self_interaction(1);
+    else
+      window_metrics_.record_interaction(sf, st, 1);
     window_metrics_.record_activity(sf, load);
     if (c.to != c.from) window_metrics_.record_activity(st, load);
 
@@ -169,10 +182,8 @@ void ShardingSimulator::process_transaction(const eth::Transaction& tx) {
     // Static-cut bookkeeping counts distinct *undirected* non-loop edges,
     // matching metrics::static_edge_cut over the symmetrized cumulative
     // graph (a→b and b→a are one edge; self-loops can never be cut).
-    const bool existed = cumulative_.has_edge(c.from, c.to) ||
-                         cumulative_.has_edge(c.to, c.from);
-    cumulative_.add_edge(c.from, c.to, 1);
-    if (!existed && c.from != c.to) {
+    const graph::EdgeInsert ins = cumulative_.add_edge(c.from, c.to, 1);
+    if (ins.new_undirected_edge) {
       ++distinct_edges_;
       if (sf != st) ++cut_edges_;
     }
@@ -182,7 +193,10 @@ void ShardingSimulator::process_transaction(const eth::Transaction& tx) {
     if (c.to != c.from) window_.add_vertex_weight(c.to, load);
 
     ++executed_total_;
-    if (sf != st) ++executed_cross_;
+    if (c.from != c.to) {
+      ++executed_pair_;
+      if (sf != st) ++executed_cross_;
+    }
   }
 
   // Give state-movement strategies their per-transaction hook.
@@ -203,31 +217,71 @@ double ShardingSimulator::current_static_balance() const {
          static_cast<double>(total);
 }
 
+void ShardingSimulator::apply_cut_delta(graph::Vertex v,
+                                        partition::ShardId from,
+                                        partition::ShardId to) {
+  const auto neighbors = cumulative_.undirected_neighbors(v);
+  for (const graph::Vertex u : neighbors) {
+    const partition::ShardId su = part_.shard_of(u);
+    if (su == from)
+      ++cut_edges_;  // {v, u} was internal, v is leaving
+    else if (su == to)
+      --cut_edges_;  // {v, u} was cut, v joins u's shard
+  }
+  ETHSHARD_OBS_COUNT("sim/cut_delta_arcs_scanned", neighbors.size());
+}
+
 void ShardingSimulator::recompute_static_cut() {
   std::uint64_t cut = 0;
-  cumulative_.for_each_edge(
-      [&](graph::Vertex u, graph::Vertex v, graph::Weight) {
-        if (u == v) return;
-        // Count each undirected edge once: when both directions exist,
-        // only the u < v orientation contributes.
-        if (u > v && cumulative_.has_edge(v, u)) return;
-        if (part_.shard_of(u) != part_.shard_of(v)) ++cut;
-      });
+  const std::uint64_t n = cumulative_.num_vertices();
+  for (graph::Vertex v = 0; v < n; ++v)
+    for (const graph::Vertex u : cumulative_.undirected_neighbors(v)) {
+      if (u <= v) continue;  // count each undirected edge once
+      if (part_.shard_of(v) != part_.shard_of(u)) ++cut;
+    }
   cut_edges_ = cut;
+  ETHSHARD_OBS_COUNT("sim/static_cut_recomputes", 1);
+}
+
+const graph::Graph& ShardingSimulator::cumulative_snapshot() const {
+  if (cum_snapshot_vertices_ != cumulative_.num_vertices() ||
+      cum_snapshot_edges_ != cumulative_.num_edges() ||
+      cum_snapshot_weight_ != cumulative_.total_edge_weight()) {
+    cum_snapshot_ = cumulative_.build_undirected();
+    cum_snapshot_vertices_ = cumulative_.num_vertices();
+    cum_snapshot_edges_ = cumulative_.num_edges();
+    cum_snapshot_weight_ = cumulative_.total_edge_weight();
+    ETHSHARD_OBS_COUNT("sim/cumulative_snapshot_builds", 1);
+  } else {
+    ETHSHARD_OBS_COUNT("sim/cumulative_snapshot_reuses", 1);
+  }
+  return cum_snapshot_;
+}
+
+void ShardingSimulator::verify_incremental_state() {
+  const std::uint64_t incremental_cut = cut_edges_;
+  recompute_static_cut();
+  ETHSHARD_CHECK_MSG(cut_edges_ == incremental_cut,
+                     "incremental static cut diverged: incremental "
+                         << incremental_cut << " vs recomputed "
+                         << cut_edges_);
+  ETHSHARD_CHECK_MSG(
+      distinct_edges_ == cumulative_.num_undirected_edges(),
+      "distinct-edge count diverged: " << distinct_edges_ << " vs "
+                                       << cumulative_.num_undirected_edges());
 }
 
 void ShardingSimulator::flush_window(util::Timestamp window_end) {
   ETHSHARD_OBS_TIMER("sim/flush_window_ms");
-  const auto wall_now = std::chrono::steady_clock::now();
+  // The window's wall span is measured *before* any repartition runs
+  // (and window_wall_start_ is re-armed after it returns), so a
+  // repartition's cost shows up only in partitioner_ms — not smeared
+  // into this or the next window's window_wall_ms.
   const double window_wall_ms =
-      std::chrono::duration<double, std::milli>(wall_now -
-                                                window_wall_start_)
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - window_wall_start_)
           .count();
-  window_wall_start_ = wall_now;
-  if (static_cut_dirty_) {
-    recompute_static_cut();
-    static_cut_dirty_ = false;
-  }
+  if (cfg_.verify_incremental) verify_incremental_state();
   WindowSample sample;
   sample.window_start = window_start_;
   sample.window_end = window_end;
@@ -260,6 +314,7 @@ void ShardingSimulator::flush_window(util::Timestamp window_end) {
   window_start_ = window_end;
 
   const bool repartitioned = maybe_repartition(snapshot);
+  window_wall_start_ = std::chrono::steady_clock::now();
 
   if (cfg_.telemetry != nullptr) {
     WindowTelemetry tel;
@@ -302,33 +357,56 @@ bool ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
   if (cfg_.align_repartition_labels)
     partition::align_partition_labels(part_, &next);
 
+  // Collect the vertices whose label actually changes (any label,
+  // including kUnassigned — the cut treats it as one more shard id) and
+  // the adjacency volume a delta update would have to scan.
   std::uint64_t moves = 0;
   std::uint64_t moved_state = 0;
+  std::uint64_t delta_scan_arcs = 0;
+  reassigned_.clear();
   for (graph::Vertex v = 0; v < part_.size(); ++v) {
     const partition::ShardId a = part_.shard_of(v);
     const partition::ShardId b = next.shard_of(v);
-    if (a == partition::kUnassigned || b == partition::kUnassigned ||
-        a == b)
+    if (a == b) continue;
+    reassigned_.push_back(v);
+    delta_scan_arcs += cumulative_.undirected_neighbors(v).size();
+    if (a == partition::kUnassigned || b == partition::kUnassigned)
       continue;
     ++moves;
     moved_state += 1 + activity_[v];
   }
-  part_ = std::move(next);
 
-  // Rebuild all assignment-dependent bookkeeping.
-  std::fill(shard_counts_.begin(), shard_counts_.end(), 0);
-  std::fill(shard_loads_.begin(), shard_loads_.end(), 0);
-  for (graph::Vertex v = 0; v < part_.size(); ++v) {
-    const partition::ShardId s = part_.shard_of(v);
-    if (s == partition::kUnassigned) continue;
-    ++shard_counts_[s];
-    shard_loads_[s] += activity_[v];
+  // Assignment-dependent bookkeeping follows the moved vertices only.
+  // Each vertex's cut delta is evaluated against the current part_ state
+  // and applied before its own reassignment, so sequential application
+  // is exact for any move set. When the moved adjacency exceeds a full
+  // sweep (2 arcs per distinct edge), recompute instead.
+  const bool delta_cheaper = delta_scan_arcs < 2 * distinct_edges_;
+  for (graph::Vertex v : reassigned_) {
+    const partition::ShardId a = part_.shard_of(v);
+    const partition::ShardId b = next.shard_of(v);
+    if (delta_cheaper) apply_cut_delta(v, a, b);
+    if (a != partition::kUnassigned) {
+      --shard_counts_[a];
+      shard_loads_[a] -= activity_[v];
+    }
+    if (b != partition::kUnassigned) {
+      ++shard_counts_[b];
+      shard_loads_[b] += activity_[v];
+    }
+    part_.assign(v, b);
   }
-  recompute_static_cut();
+  if (!delta_cheaper) recompute_static_cut();
+
+  if (cfg_.verify_incremental) {
+    verify_incremental_state();
+    ETHSHARD_CHECK_MSG(cumulative_snapshot() == cumulative_.build_undirected(),
+                       "cached cumulative snapshot diverged");
+  }
 
   // A fresh activity window begins at every repartition (§II-C R-METIS:
   // the reduced graph "starts at the last (re)partitioning").
-  window_.clear();
+  window_.reset_edges(/*default_vertex_weight=*/0);
   window_.ensure_vertices(part_.size(), 0);
 
   last_repartition_ = snapshot.window_end;
@@ -359,12 +437,42 @@ SimulationResult ShardingSimulator::run() {
 
   for (const eth::Block& block : blocks) {
     now_ = block.timestamp;
-    while (now_ >= window_start_ + cfg_.metric_window)
+    while (now_ >= window_start_ + cfg_.metric_window) {
+      // Long traffic gaps: once the accumulating window is empty, every
+      // pending window up to the current block is empty too. Skip them
+      // wholesale as far as the strategy's no_repartition_before bound
+      // allows — they would produce no sample and a guaranteed-false
+      // should_repartition, so the result is identical.
+      if (cfg_.fast_forward_gaps && cfg_.skip_empty_windows &&
+          cfg_.telemetry == nullptr && window_metrics_.empty()) {
+        const util::Timestamp width = cfg_.metric_window;
+        const auto pending =
+            static_cast<std::uint64_t>((now_ - window_start_) / width);
+        const util::Timestamp consult_at =
+            strategy_.no_repartition_before(last_repartition_);
+        std::uint64_t skip = 0;
+        if (consult_at > window_start_ + width) {
+          // Window i ends at window_start_ + i*width; skippable while
+          // that end stays strictly before consult_at.
+          const auto limit = static_cast<std::uint64_t>(
+              (consult_at - window_start_ - 1) / width);
+          skip = std::min(pending, limit);
+        }
+        if (skip > 0) {
+          window_start_ += static_cast<util::Timestamp>(skip) * width;
+          result_.gap_windows_skipped += skip;
+          ETHSHARD_OBS_COUNT("sim/gap_windows_skipped", skip);
+          continue;
+        }
+      }
       flush_window(window_start_ + cfg_.metric_window);
+    }
     for (const eth::Transaction& tx : block.transactions)
       process_transaction(tx);
   }
-  flush_window(window_start_ + cfg_.metric_window);  // final partial window
+  // Final partial window: its reported end is clamped to just past the
+  // last block instead of a full metric_window into silence.
+  flush_window(std::min(window_start_ + cfg_.metric_window, now_ + 1));
 
   result_.vertices = part_.size();
   result_.distinct_edges = distinct_edges_;
@@ -375,9 +483,9 @@ SimulationResult ShardingSimulator::run() {
                                  static_cast<double>(distinct_edges_);
   result_.final_static_balance = current_static_balance();
   result_.executed_cross_shard_fraction =
-      executed_total_ == 0 ? 0.0
-                           : static_cast<double>(executed_cross_) /
-                                 static_cast<double>(executed_total_);
+      executed_pair_ == 0 ? 0.0
+                          : static_cast<double>(executed_cross_) /
+                                static_cast<double>(executed_pair_);
   return std::move(result_);
 }
 

@@ -48,11 +48,24 @@ struct SimulatorConfig {
   /// record per evaluation window as it completes (see core/telemetry.hpp
   /// for the schema). Not owned; must outlive the simulator.
   TelemetrySink* telemetry = nullptr;
+  /// Skip long runs of empty windows in one step instead of flushing them
+  /// one at a time, when the strategy declares (no_repartition_before)
+  /// that quiet windows cannot trigger it. Only engages when
+  /// skip_empty_windows is set and no telemetry sink is attached, so the
+  /// observable output is identical either way.
+  bool fast_forward_gaps = true;
+  /// Debug cross-check: at every window flush, recompute the static cut
+  /// from scratch and compare with the incrementally maintained count
+  /// (and, at repartitions, rebuild the cumulative snapshot and compare
+  /// with the cache). Aborts on divergence. O(E) per window — for tests.
+  bool verify_incremental = false;
 };
 
 /// One metric sample (a data point in Fig. 3).
 struct WindowSample {
   util::Timestamp window_start = 0;
+  /// Exclusive end: window_start + metric_window, except for the run's
+  /// final partial window, which is clamped to last block timestamp + 1.
   util::Timestamp window_end = 0;
   /// Weighted cross-shard fraction of the window's interactions.
   double dynamic_edge_cut = 0;
@@ -103,9 +116,14 @@ struct SimulationResult {
   std::uint64_t interactions = 0;
   double final_static_edge_cut = 0;
   double final_static_balance = 1;
-  /// Cross-shard fraction of ALL executed interactions, measured at
-  /// execution time (the history-wide dynamic edge-cut).
+  /// Cross-shard fraction of executed interactions between *distinct*
+  /// accounts, measured at execution time (the history-wide dynamic
+  /// edge-cut). Self-calls are excluded from the denominator — they can
+  /// never cross shards (see metrics::WindowAccumulator).
   double executed_cross_shard_fraction = 0;
+  /// Empty windows elided by the gap fast-forward (they produce no sample
+  /// either way; see SimulatorConfig::fast_forward_gaps).
+  std::uint64_t gap_windows_skipped = 0;
 };
 
 class ShardingSimulator {
@@ -130,7 +148,20 @@ class ShardingSimulator {
   /// Returns true when the strategy repartitioned (the event is then the
   /// back of result_.repartitions).
   bool maybe_repartition(const WindowSnapshot& snapshot);
+  /// Updates cut_edges_ for vertex v moving shard `from` → `to` by
+  /// scanning only v's cumulative undirected adjacency — O(deg v). Must
+  /// run while part_ still holds every *other* vertex's effective shard
+  /// (v's own entry is not read; the undirected adjacency has no loops).
+  void apply_cut_delta(graph::Vertex v, partition::ShardId from,
+                       partition::ShardId to);
+  /// From-scratch O(E) static-cut sweep — the delta path's fallback (when
+  /// a repartition moves more adjacency than a full sweep would touch)
+  /// and the verify_incremental cross-check.
   void recompute_static_cut();
+  /// Cached symmetrized snapshot of cumulative_, rebuilt only when edges
+  /// or vertices were added since the last call.
+  const graph::Graph& cumulative_snapshot() const;
+  void verify_incremental_state();
   double current_static_balance() const;
 
   const workload::History& history_;
@@ -139,22 +170,42 @@ class ShardingSimulator {
 
   partition::Partition part_;
   graph::GraphBuilder cumulative_;  // unit vertex weights
-  graph::GraphBuilder window_;      // window-activity vertex weights
+  // Window-activity vertex weights. Only whole-window snapshots are ever
+  // taken from it, so it skips per-vertex neighbor tracking (two list
+  // appends per new pair saved on the per-call hot path).
+  graph::GraphBuilder window_{/*track_und_neighbors=*/false};
   std::vector<graph::Weight> activity_;  // cumulative per-vertex activity
 
   std::vector<std::uint64_t> shard_counts_;
   std::vector<graph::Weight> shard_loads_;
 
   // Incremental static-cut bookkeeping over distinct undirected non-loop
-  // edges (a→b and b→a count once, as in the symmetrized graph).
-  // Online migrations invalidate the incremental count; it is recomputed
-  // lazily at the next window flush.
+  // edges (a→b and b→a count once, as in the symmetrized graph). New
+  // edges adjust the counts at insertion; migrations and repartitions
+  // apply O(deg) deltas via apply_cut_delta, so cut_edges_ is exact at
+  // all times (recompute_static_cut survives as fallback + cross-check).
   std::uint64_t distinct_edges_ = 0;
   std::uint64_t cut_edges_ = 0;
-  bool static_cut_dirty_ = false;
 
-  // History-wide executed interaction accounting.
+  // Cached Env::cumulative_graph() snapshot. The stamps capture every
+  // mutation cumulative_ can see (the simulator only ever grows it via
+  // ensure_vertices/add_edge; its vertex weights stay at 1).
+  mutable graph::Graph cum_snapshot_;
+  mutable std::uint64_t cum_snapshot_vertices_ = ~std::uint64_t{0};
+  mutable std::uint64_t cum_snapshot_edges_ = ~std::uint64_t{0};
+  mutable graph::Weight cum_snapshot_weight_ = 0;
+
+  // Scratch reused by every Env::window_graph() construction (active
+  // vertex list + old→new id map, kept all-kInvalid between calls) and
+  // by maybe_repartition's moved-vertex collection.
+  mutable std::vector<graph::Vertex> window_active_;
+  mutable std::vector<graph::Vertex> window_old_to_new_;
+  std::vector<graph::Vertex> reassigned_;
+
+  // History-wide executed interaction accounting (pair = between
+  // distinct accounts; the cross-shard denominator).
   std::uint64_t executed_total_ = 0;
+  std::uint64_t executed_pair_ = 0;
   std::uint64_t executed_cross_ = 0;
 
   metrics::WindowAccumulator window_metrics_;

@@ -147,7 +147,7 @@ bool FullGraphMlkpStrategy::should_repartition(const WindowSnapshot& snapshot,
 
 partition::Partition FullGraphMlkpStrategy::compute_partition(
     const SimulatorEnv& env) {
-  const graph::Graph g = env.cumulative_graph();
+  const graph::Graph& g = env.cumulative_graph();
   if (g.num_vertices() == 0) return env.current_partition();
   partition::MlkpConfig cfg = mlkp_;
   cfg.seed = mlkp_.seed + (++invocation_);

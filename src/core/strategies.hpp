@@ -33,6 +33,9 @@ class HashStrategy final : public ShardingStrategy {
   bool should_repartition(const WindowSnapshot&, const SimulatorEnv&) override {
     return false;
   }
+  util::Timestamp no_repartition_before(util::Timestamp) const override {
+    return kNeverOnEmpty;
+  }
   partition::Partition compute_partition(const SimulatorEnv& env) override;
 
  private:
@@ -55,6 +58,10 @@ class KlStrategy final : public ShardingStrategy {
                            const SimulatorEnv& env) override;
   bool should_repartition(const WindowSnapshot& snapshot,
                           const SimulatorEnv& env) override;
+  util::Timestamp no_repartition_before(
+      util::Timestamp last_repartition) const override {
+    return last_repartition + period_;
+  }
   partition::Partition compute_partition(const SimulatorEnv& env) override;
 
  private:
@@ -80,6 +87,10 @@ class FullGraphMlkpStrategy final : public ShardingStrategy {
                            const SimulatorEnv& env) override;
   bool should_repartition(const WindowSnapshot& snapshot,
                           const SimulatorEnv& env) override;
+  util::Timestamp no_repartition_before(
+      util::Timestamp last_repartition) const override {
+    return last_repartition + period_;
+  }
   partition::Partition compute_partition(const SimulatorEnv& env) override;
 
   const partition::MlkpConfig& mlkp_config() const { return mlkp_; }
@@ -106,6 +117,10 @@ class WindowMlkpStrategy final : public ShardingStrategy {
                            const SimulatorEnv& env) override;
   bool should_repartition(const WindowSnapshot& snapshot,
                           const SimulatorEnv& env) override;
+  util::Timestamp no_repartition_before(
+      util::Timestamp last_repartition) const override {
+    return last_repartition + period_;
+  }
   partition::Partition compute_partition(const SimulatorEnv& env) override;
 
   const partition::MlkpConfig& mlkp_config() const { return mlkp_; }
@@ -160,6 +175,12 @@ class ThresholdMlkpStrategy final : public ShardingStrategy {
                            const SimulatorEnv& env) override;
   bool should_repartition(const WindowSnapshot& snapshot,
                           const SimulatorEnv& env) override;
+  util::Timestamp no_repartition_before(util::Timestamp) const override {
+    // Windows below min_interactions return early without touching the
+    // trigger state, so skipping empty ones is exact; with the threshold
+    // at 0 an empty window feeds the EWMA and must be consulted.
+    return thresholds_.min_interactions > 0 ? kNeverOnEmpty : kAlwaysConsult;
+  }
   partition::Partition compute_partition(const SimulatorEnv& env) override;
 
   const Thresholds& thresholds() const { return thresholds_; }
@@ -195,6 +216,9 @@ class DsmStrategy final : public ShardingStrategy {
                            const SimulatorEnv& env) override;
   bool should_repartition(const WindowSnapshot&, const SimulatorEnv&) override {
     return false;
+  }
+  util::Timestamp no_repartition_before(util::Timestamp) const override {
+    return kNeverOnEmpty;
   }
   partition::Partition compute_partition(const SimulatorEnv& env) override {
     return env.current_partition();

@@ -2,6 +2,7 @@
 // plugs into the replay simulator.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <string>
 
@@ -59,6 +60,28 @@ class ShardingStrategy {
   /// compute_partition and a reassignment (with moves accounting).
   virtual bool should_repartition(const WindowSnapshot& snapshot,
                                   const SimulatorEnv& env) = 0;
+
+  /// Earliest time at which this strategy could answer true to
+  /// should_repartition for an *empty* window (zero interactions), given
+  /// the last repartition happened at `last_repartition`. The simulator
+  /// uses this to fast-forward long traffic gaps: empty windows ending
+  /// strictly before the returned time are skipped without consulting the
+  /// strategy at all (they are not recorded either — see
+  /// SimulatorConfig::skip_empty_windows). Returning kAlwaysConsult (the
+  /// conservative default) disables skipping; kNeverOnEmpty declares that
+  /// quiet windows can never trigger a repartition (pure threshold
+  /// strategies); periodic strategies return last_repartition + period.
+  /// Implementations must be consistent with should_repartition on empty
+  /// snapshots AND must not depend on being consulted for skipped windows
+  /// (no per-window internal state for quiet windows).
+  static constexpr util::Timestamp kAlwaysConsult = 0;
+  static constexpr util::Timestamp kNeverOnEmpty =
+      std::numeric_limits<util::Timestamp>::max();
+  virtual util::Timestamp no_repartition_before(
+      util::Timestamp last_repartition) const {
+    (void)last_repartition;
+    return kAlwaysConsult;
+  }
 
   /// Computes the new assignment for every currently known vertex.
   /// Must return a complete partition of env.current_partition().size()

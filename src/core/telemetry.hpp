@@ -31,6 +31,9 @@ namespace ethshard::core {
 /// One evaluation window's record, filled by the simulator.
 struct WindowTelemetry {
   std::uint64_t window_start = 0;
+  /// Exclusive end. window_end - window_start == metric_window for every
+  /// window except the run's final partial one, whose end is clamped to
+  /// one past the last block timestamp.
   std::uint64_t window_end = 0;
   std::uint64_t interactions = 0;
   /// False for windows suppressed by skip_empty_windows.
@@ -39,8 +42,11 @@ struct WindowTelemetry {
   double dynamic_balance = 1;
   double static_edge_cut = 0;
   double static_balance = 1;
-  /// Wall-clock time spent replaying this window (transaction processing
-  /// since the previous flush plus this flush's metric computation).
+  /// Wall-clock time spent replaying this window's transactions (the
+  /// span from the end of the previous flush — after any repartition it
+  /// ran — to the start of this one). Repartition cost is never included
+  /// here; it is reported separately as partitioner_ms on the window
+  /// whose boundary triggered it.
   double window_wall_ms = 0;
   /// Whether the strategy repartitioned at this window boundary.
   bool repartition = false;

@@ -8,17 +8,24 @@ namespace ethshard::graph {
 
 namespace {
 constexpr std::uint64_t kIdLimit = std::uint64_t{1} << 32;
+constexpr std::uint64_t kLoMask = 0xffffffffu;
 }
 
 std::uint64_t GraphBuilder::key(Vertex u, Vertex v) {
   return (u << 32) | v;
 }
 
+const GraphBuilder::PairWeights* GraphBuilder::find_pair(Vertex u,
+                                                         Vertex v) const {
+  const auto it = pair_weight_.find(key(std::min(u, v), std::max(u, v)));
+  return it == pair_weight_.end() ? nullptr : &it->second;
+}
+
 Vertex GraphBuilder::add_vertex(Weight weight) {
   const Vertex id = vwgt_.size();
   ETHSHARD_CHECK_MSG(id < kIdLimit, "vertex id space exhausted");
   vwgt_.push_back(weight);
-  out_.emplace_back();
+  if (track_und_) und_.emplace_back();
   return id;
 }
 
@@ -26,15 +33,30 @@ void GraphBuilder::ensure_vertices(std::uint64_t count, Weight default_weight) {
   while (vwgt_.size() < count) add_vertex(default_weight);
 }
 
-void GraphBuilder::add_edge(Vertex u, Vertex v, Weight weight) {
+EdgeInsert GraphBuilder::add_edge(Vertex u, Vertex v, Weight weight) {
   ETHSHARD_CHECK(u < vwgt_.size() && v < vwgt_.size());
-  auto [it, inserted] = edge_weight_.try_emplace(key(u, v), weight);
-  if (inserted) {
-    out_[u].push_back(v);
-  } else {
-    it->second += weight;
+  ETHSHARD_CHECK(weight > 0);
+  const Vertex lo = std::min(u, v);
+  const Vertex hi = std::max(u, v);
+  PairWeights& pw = pair_weight_[key(lo, hi)];  // the single hash probe
+
+  EdgeInsert ins;
+  if (u != v && pw.fwd == 0 && pw.rev == 0) {
+    if (track_und_) {
+      und_[u].push_back(v);
+      und_[v].push_back(u);
+    }
+    ++num_und_edges_;
+    ins.new_undirected_edge = true;
   }
+  Weight& dir = (u == lo) ? pw.fwd : pw.rev;
+  if (dir == 0) {
+    ++num_dir_edges_;
+    ins.new_directed_edge = true;
+  }
+  dir += weight;
   total_edge_weight_ += weight;
+  return ins;
 }
 
 void GraphBuilder::add_vertex_weight(Vertex v, Weight weight) {
@@ -43,69 +65,139 @@ void GraphBuilder::add_vertex_weight(Vertex v, Weight weight) {
 }
 
 bool GraphBuilder::has_edge(Vertex u, Vertex v) const {
-  return edge_weight_.contains(key(u, v));
+  return edge_weight(u, v) > 0;
 }
 
 Weight GraphBuilder::edge_weight(Vertex u, Vertex v) const {
-  auto it = edge_weight_.find(key(u, v));
-  return it == edge_weight_.end() ? 0 : it->second;
+  const PairWeights* pw = find_pair(u, v);
+  if (pw == nullptr) return 0;
+  return (u <= v) ? pw->fwd : pw->rev;
+}
+
+std::span<const Vertex> GraphBuilder::undirected_neighbors(Vertex v) const {
+  ETHSHARD_CHECK_MSG(track_und_,
+                     "builder constructed without neighbor tracking");
+  return {und_[v].data(), und_[v].size()};
 }
 
 Graph GraphBuilder::build_directed() const {
   const std::uint64_t n = vwgt_.size();
+  std::vector<std::uint64_t> deg(n, 0);
+  for (const auto& [packed, pw] : pair_weight_) {
+    if (pw.fwd > 0) ++deg[packed >> 32];
+    if (pw.rev > 0) ++deg[packed & kLoMask];
+  }
+
   std::vector<std::uint64_t> xadj(n + 1, 0);
-  for (Vertex v = 0; v < n; ++v) xadj[v + 1] = xadj[v] + out_[v].size();
+  for (Vertex v = 0; v < n; ++v) xadj[v + 1] = xadj[v] + deg[v];
 
   std::vector<Arc> adj(xadj[n]);
-  for (Vertex v = 0; v < n; ++v) {
-    std::uint64_t pos = xadj[v];
-    for (Vertex w : out_[v])
-      adj[pos++] = Arc{w, edge_weight_.at(key(v, w))};
+  std::vector<std::uint64_t> fill(xadj.begin(), xadj.end() - 1);
+  for (const auto& [packed, pw] : pair_weight_) {
+    const Vertex lo = packed >> 32;
+    const Vertex hi = packed & kLoMask;
+    if (pw.fwd > 0) adj[fill[lo]++] = Arc{hi, pw.fwd};
+    if (pw.rev > 0) adj[fill[hi]++] = Arc{lo, pw.rev};
   }
+  // from_csr sorts each arc list, so the snapshot does not depend on the
+  // pair map's iteration order.
   return Graph::from_csr(std::move(xadj), std::move(adj), vwgt_,
                          /*directed=*/true);
 }
 
 Graph GraphBuilder::build_undirected() const {
   const std::uint64_t n = vwgt_.size();
-  // First pass: undirected degree of every vertex (self-loops dropped;
-  // an edge present in both directions contributes once per endpoint).
   std::vector<std::uint64_t> deg(n, 0);
-  for (Vertex u = 0; u < n; ++u) {
-    for (Vertex v : out_[u]) {
-      if (v == u) continue;
-      // Count {u,v} only from the canonical direction to avoid doubles
-      // when both u→v and v→u exist.
-      if (u < v || !has_edge(v, u)) {
-        ++deg[u];
-        ++deg[v];
-      }
-    }
+  for (const auto& [packed, pw] : pair_weight_) {
+    const Vertex lo = packed >> 32;
+    const Vertex hi = packed & kLoMask;
+    if (lo == hi) continue;  // self-loops dropped from the symmetrized view
+    ++deg[lo];
+    ++deg[hi];
   }
+
   std::vector<std::uint64_t> xadj(n + 1, 0);
   for (Vertex v = 0; v < n; ++v) xadj[v + 1] = xadj[v] + deg[v];
 
   std::vector<Arc> adj(xadj[n]);
-  std::vector<std::uint64_t> fill = xadj;  // next write position per vertex
-  for (Vertex u = 0; u < n; ++u) {
-    for (Vertex v : out_[u]) {
-      if (v == u) continue;
-      if (u < v || !has_edge(v, u)) {
-        const Weight w = edge_weight_.at(key(u, v)) + edge_weight(v, u);
-        adj[fill[u]++] = Arc{v, w};
-        adj[fill[v]++] = Arc{u, w};
-      }
-    }
+  std::vector<std::uint64_t> fill(xadj.begin(), xadj.end() - 1);
+  for (const auto& [packed, pw] : pair_weight_) {
+    const Vertex lo = packed >> 32;
+    const Vertex hi = packed & kLoMask;
+    if (lo == hi) continue;
+    const Weight w = pw.fwd + pw.rev;
+    adj[fill[lo]++] = Arc{hi, w};
+    adj[fill[hi]++] = Arc{lo, w};
   }
   return Graph::from_csr(std::move(xadj), std::move(adj), vwgt_,
                          /*directed=*/false);
 }
 
+Graph GraphBuilder::build_undirected_induced(
+    std::span<const Vertex> vertices, std::vector<Vertex>& old_to_new) const {
+  if (old_to_new.size() < vwgt_.size())
+    old_to_new.resize(vwgt_.size(), Graph::kInvalid);
+  for (std::uint64_t i = 0; i < vertices.size(); ++i) {
+    const Vertex v = vertices[i];
+    ETHSHARD_CHECK(v < vwgt_.size());
+    ETHSHARD_CHECK_MSG(old_to_new[v] == Graph::kInvalid,
+                       "duplicate vertex or dirty scratch");
+    old_to_new[v] = i;
+  }
+
+  const std::uint64_t sub_n = vertices.size();
+  std::vector<std::uint64_t> deg(sub_n, 0);
+  for (const auto& [packed, pw] : pair_weight_) {
+    const Vertex lo = packed >> 32;
+    const Vertex hi = packed & kLoMask;
+    if (lo == hi) continue;
+    const Vertex nl = old_to_new[lo];
+    const Vertex nh = old_to_new[hi];
+    if (nl == Graph::kInvalid || nh == Graph::kInvalid) continue;
+    ++deg[nl];
+    ++deg[nh];
+  }
+
+  std::vector<std::uint64_t> xadj(sub_n + 1, 0);
+  for (std::uint64_t i = 0; i < sub_n; ++i) xadj[i + 1] = xadj[i] + deg[i];
+
+  std::vector<Arc> adj(xadj[sub_n]);
+  std::vector<Weight> vw(sub_n);
+  for (std::uint64_t i = 0; i < sub_n; ++i) vw[i] = vwgt_[vertices[i]];
+  std::vector<std::uint64_t> fill(xadj.begin(), xadj.end() - 1);
+  for (const auto& [packed, pw] : pair_weight_) {
+    const Vertex lo = packed >> 32;
+    const Vertex hi = packed & kLoMask;
+    if (lo == hi) continue;
+    const Vertex nl = old_to_new[lo];
+    const Vertex nh = old_to_new[hi];
+    if (nl == Graph::kInvalid || nh == Graph::kInvalid) continue;
+    const Weight w = pw.fwd + pw.rev;
+    adj[fill[nl]++] = Arc{nh, w};
+    adj[fill[nh]++] = Arc{nl, w};
+  }
+
+  for (Vertex v : vertices) old_to_new[v] = Graph::kInvalid;
+  return Graph::from_csr(std::move(xadj), std::move(adj), std::move(vw),
+                         /*directed=*/false);
+}
+
+void GraphBuilder::reset_edges(Weight default_vertex_weight) {
+  std::fill(vwgt_.begin(), vwgt_.end(), default_vertex_weight);
+  for (auto& list : und_) list.clear();
+  pair_weight_.clear();
+  total_edge_weight_ = 0;
+  num_dir_edges_ = 0;
+  num_und_edges_ = 0;
+}
+
 void GraphBuilder::clear() {
   vwgt_.clear();
-  out_.clear();
-  edge_weight_.clear();
+  und_.clear();
+  pair_weight_.clear();
   total_edge_weight_ = 0;
+  num_dir_edges_ = 0;
+  num_und_edges_ = 0;
 }
 
 }  // namespace ethshard::graph

@@ -101,6 +101,11 @@ class Graph {
   /// tests and debug assertions; O(m log m).
   bool check_symmetric() const;
 
+  /// Structural equality: same CSR arrays, weights and directedness.
+  /// Arc lists are sorted by the factories, so two graphs with the same
+  /// edge set compare equal regardless of insertion order.
+  friend bool operator==(const Graph&, const Graph&) = default;
+
  private:
   std::vector<std::uint64_t> xadj_;  // size n+1
   std::vector<Arc> adj_;             // arcs, grouped by source

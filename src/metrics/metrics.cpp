@@ -63,7 +63,12 @@ void WindowAccumulator::record_interaction(partition::ShardId a,
                                            graph::Weight w) {
   ETHSHARD_CHECK(a < k_ && b < k_);
   total_interactions_ += w;
+  pair_interactions_ += w;
   if (a != b) cross_interactions_ += w;
+}
+
+void WindowAccumulator::record_self_interaction(graph::Weight w) {
+  total_interactions_ += w;
 }
 
 void WindowAccumulator::record_activity(partition::ShardId s,
@@ -74,9 +79,9 @@ void WindowAccumulator::record_activity(partition::ShardId s,
 }
 
 double WindowAccumulator::dynamic_edge_cut() const {
-  if (total_interactions_ == 0) return 0.0;
+  if (pair_interactions_ == 0) return 0.0;
   return static_cast<double>(cross_interactions_) /
-         static_cast<double>(total_interactions_);
+         static_cast<double>(pair_interactions_);
 }
 
 double WindowAccumulator::dynamic_balance() const {
@@ -88,6 +93,7 @@ double WindowAccumulator::dynamic_balance() const {
 
 void WindowAccumulator::reset() {
   total_interactions_ = 0;
+  pair_interactions_ = 0;
   cross_interactions_ = 0;
   std::fill(load_.begin(), load_.end(), 0);
   total_load_ = 0;

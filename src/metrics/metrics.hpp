@@ -41,20 +41,33 @@ class WindowAccumulator {
  public:
   explicit WindowAccumulator(std::uint32_t k);
 
-  /// One edge traversal (call) between the shards of its endpoints.
+  /// One edge traversal (call) between the shards of its *distinct*
+  /// endpoints. Self-calls must go through record_self_interaction
+  /// instead: they can never be cut, and counting them here would deflate
+  /// dynamic_edge_cut relative to metrics::dynamic_edge_cut on the
+  /// symmetrized window graph (which drops self-loops).
   void record_interaction(partition::ShardId a, partition::ShardId b,
                           graph::Weight w = 1);
+
+  /// A call whose caller and callee are the same account. Counted in
+  /// total_interactions (the window's traffic volume) but excluded from
+  /// the edge-cut denominator.
+  void record_self_interaction(graph::Weight w = 1);
 
   /// One unit of vertex activity on shard s.
   void record_activity(partition::ShardId s, graph::Weight w = 1);
 
-  /// Weighted cross-shard fraction; 0 when the window saw no interactions.
+  /// Weighted cross-shard fraction of the window's non-self interactions
+  /// — Eq. 1 over traversed edges, matching metrics::dynamic_edge_cut on
+  /// the window graph. 0 when the window saw none.
   double dynamic_edge_cut() const;
 
   /// Eq. 2 over window activity; 1 when the window saw no activity.
   double dynamic_balance() const;
 
   graph::Weight total_interactions() const { return total_interactions_; }
+  /// Interactions between distinct endpoints (the cut denominator).
+  graph::Weight pair_interactions() const { return pair_interactions_; }
   graph::Weight cross_interactions() const { return cross_interactions_; }
   const std::vector<graph::Weight>& shard_load() const { return load_; }
 
@@ -65,6 +78,7 @@ class WindowAccumulator {
  private:
   std::uint32_t k_;
   graph::Weight total_interactions_ = 0;
+  graph::Weight pair_interactions_ = 0;
   graph::Weight cross_interactions_ = 0;
   std::vector<graph::Weight> load_;
   graph::Weight total_load_ = 0;

@@ -311,6 +311,22 @@ HistoryStats stats_of(const History& h) {
   return st;
 }
 
+History with_traffic_gap(const History& history, util::Timestamp gap_start,
+                         util::Timestamp gap_length) {
+  ETHSHARD_CHECK(gap_length >= 0);
+  History out;
+  out.accounts = history.accounts;
+  for (const eth::Block& b : history.chain.blocks()) {
+    eth::Block shifted = b;
+    if (shifted.timestamp >= gap_start) shifted.timestamp += gap_length;
+    shifted.parent_hash = out.chain.empty()
+                              ? eth::Hash256{}
+                              : out.chain.block_hash(out.chain.size() - 1);
+    out.chain.append(std::move(shifted));
+  }
+  return out;
+}
+
 EthereumHistoryGenerator::EthereumHistoryGenerator(GeneratorConfig cfg)
     : cfg_(cfg) {
   ETHSHARD_CHECK(cfg_.scale > 0.0);

@@ -105,6 +105,113 @@ TEST(GraphBuilder, ClearResets) {
   EXPECT_EQ(b.total_edge_weight(), 0u);
 }
 
+TEST(GraphBuilder, EdgeInsertFlagsFirstUseOnly) {
+  GraphBuilder b;
+  b.ensure_vertices(3);
+  const EdgeInsert first = b.add_edge(0, 1);
+  EXPECT_TRUE(first.new_directed_edge);
+  EXPECT_TRUE(first.new_undirected_edge);
+  // The reverse direction is a new directed edge but the pair {0,1}
+  // already interacted.
+  const EdgeInsert reverse = b.add_edge(1, 0);
+  EXPECT_TRUE(reverse.new_directed_edge);
+  EXPECT_FALSE(reverse.new_undirected_edge);
+  const EdgeInsert repeat = b.add_edge(0, 1, 4);
+  EXPECT_FALSE(repeat.new_directed_edge);
+  EXPECT_FALSE(repeat.new_undirected_edge);
+  // Self-loops never create undirected edges.
+  const EdgeInsert loop = b.add_edge(2, 2);
+  EXPECT_TRUE(loop.new_directed_edge);
+  EXPECT_FALSE(loop.new_undirected_edge);
+  EXPECT_EQ(b.num_edges(), 3u);
+  EXPECT_EQ(b.num_undirected_edges(), 1u);
+}
+
+TEST(GraphBuilder, UndirectedNeighborsDistinctInInsertionOrder) {
+  GraphBuilder b;
+  b.ensure_vertices(4);
+  b.add_edge(1, 3);
+  b.add_edge(0, 1);
+  b.add_edge(3, 1, 2);  // same pair as the first edge — no new neighbor
+  b.add_edge(1, 1);     // self-loop — never a neighbor
+  b.add_edge(1, 2);
+  const auto n1 = b.undirected_neighbors(1);
+  ASSERT_EQ(n1.size(), 3u);
+  EXPECT_EQ(n1[0], 3u);
+  EXPECT_EQ(n1[1], 0u);
+  EXPECT_EQ(n1[2], 2u);
+  ASSERT_EQ(b.undirected_neighbors(3).size(), 1u);
+  EXPECT_EQ(b.undirected_neighbors(3)[0], 1u);
+  EXPECT_TRUE(b.undirected_neighbors(2).size() == 1);
+}
+
+TEST(GraphBuilder, UntrackedBuilderBuildsIdenticalSnapshots) {
+  util::Rng rng(11);
+  GraphBuilder tracked(/*track_und_neighbors=*/true);
+  GraphBuilder untracked(/*track_und_neighbors=*/false);
+  tracked.ensure_vertices(40);
+  untracked.ensure_vertices(40);
+  for (int i = 0; i < 300; ++i) {
+    const Vertex u = rng.uniform(40);
+    const Vertex v = rng.uniform(40);
+    const Weight w = 1 + rng.uniform(3);
+    tracked.add_edge(u, v, w);
+    untracked.add_edge(u, v, w);
+  }
+  EXPECT_EQ(tracked.build_undirected(), untracked.build_undirected());
+  EXPECT_EQ(tracked.build_directed(), untracked.build_directed());
+  EXPECT_EQ(tracked.num_undirected_edges(), untracked.num_undirected_edges());
+  EXPECT_THROW(untracked.undirected_neighbors(0), util::CheckFailure);
+}
+
+TEST(GraphBuilder, InducedMatchesWholeGraphInduced) {
+  util::Rng rng(7);
+  GraphBuilder b;
+  b.ensure_vertices(30, 1);
+  for (int i = 0; i < 200; ++i)
+    b.add_edge(rng.uniform(30), rng.uniform(30), 1 + rng.uniform(5));
+  std::vector<Vertex> keep;
+  for (Vertex v = 0; v < 30; v += 2) keep.push_back(v);
+
+  std::vector<Vertex> scratch;  // grown on demand
+  const Graph direct = b.build_undirected_induced(keep, scratch);
+  const Graph via_snapshot = b.build_undirected().induced_subgraph(keep);
+  EXPECT_EQ(direct, via_snapshot);
+  // The scratch contract: restored to all-kInvalid for the next call.
+  for (Vertex v : scratch) EXPECT_EQ(v, Graph::kInvalid);
+  EXPECT_EQ(b.build_undirected_induced(keep, scratch), via_snapshot);
+}
+
+TEST(GraphBuilder, InducedRejectsDirtyScratch) {
+  GraphBuilder b;
+  b.ensure_vertices(3);
+  b.add_edge(0, 1);
+  std::vector<Vertex> scratch(3, Graph::kInvalid);
+  scratch[2] = 0;  // stale mapping from a buggy caller
+  const std::vector<Vertex> keep = {1, 2};
+  EXPECT_THROW(b.build_undirected_induced(keep, scratch),
+               util::CheckFailure);
+}
+
+TEST(GraphBuilder, ResetEdgesKeepsVerticesDropsEdges) {
+  GraphBuilder b;
+  b.ensure_vertices(3, 5);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.reset_edges(/*default_vertex_weight=*/0);
+  EXPECT_EQ(b.num_vertices(), 3u);
+  EXPECT_EQ(b.num_edges(), 0u);
+  EXPECT_EQ(b.num_undirected_edges(), 0u);
+  EXPECT_EQ(b.total_edge_weight(), 0u);
+  EXPECT_EQ(b.vertex_weight(1), 0u);
+  EXPECT_EQ(b.undirected_neighbors(1).size(), 0u);
+  // The builder is fully reusable after a reset.
+  b.add_edge(2, 0, 7);
+  EXPECT_EQ(b.num_edges(), 1u);
+  EXPECT_EQ(b.edge_weight(2, 0), 7u);
+  EXPECT_EQ(b.build_undirected().num_edges(), 1u);
+}
+
 // ------------------------------------------------------------------ CSR
 
 TEST(Graph, FromAdjacencySortsNeighbors) {

@@ -325,5 +325,50 @@ TEST(Consistency, WindowAccumulatorMatchesGraphMetrics) {
   EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), dynamic_edge_cut(g, p));
 }
 
+TEST(Consistency, SelfCallsDropOutOfTheCutDenominator) {
+  // Replaying a traffic mix that includes self-calls must agree with
+  // metrics::dynamic_edge_cut on the symmetrized window graph, which
+  // drops self-loops. Routing self-calls through record_interaction
+  // instead would deflate the accumulator's cut (regression guard for
+  // the denominator-mismatch bug).
+  graph::GraphBuilder b;
+  b.ensure_vertices(4);
+  Partition p(4, 2);
+  for (Vertex v = 0; v < 4; ++v) p.assign(v, v < 2 ? 0u : 1u);
+
+  struct Call {
+    Vertex from, to;
+    graph::Weight times;
+  };
+  const std::vector<Call> calls = {
+      {0, 1, 3}, {0, 2, 2}, {1, 1, 50}, {3, 3, 10}, {2, 3, 4}, {1, 3, 1}};
+
+  WindowAccumulator acc(2);
+  for (const Call& c : calls) {
+    b.add_edge(c.from, c.to, c.times);
+    if (c.from == c.to)
+      acc.record_self_interaction(c.times);
+    else
+      acc.record_interaction(p.shard_of(c.from), p.shard_of(c.to), c.times);
+  }
+
+  const graph::Graph window = b.build_undirected();
+  EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), dynamic_edge_cut(window, p));
+  // Volume still counts every call; the denominator only pairs.
+  EXPECT_EQ(acc.total_interactions(), 70u);
+  EXPECT_EQ(acc.pair_interactions(), 10u);
+  EXPECT_EQ(acc.cross_interactions(), 3u);
+  EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), 0.3);
+}
+
+TEST(WindowAccumulator, SelfOnlyWindowHasZeroCut) {
+  WindowAccumulator acc(2);
+  acc.record_self_interaction(12);
+  EXPECT_EQ(acc.total_interactions(), 12u);
+  EXPECT_EQ(acc.pair_interactions(), 0u);
+  EXPECT_DOUBLE_EQ(acc.dynamic_edge_cut(), 0.0);
+  EXPECT_FALSE(acc.empty());
+}
+
 }  // namespace
 }  // namespace ethshard::metrics

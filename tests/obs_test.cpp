@@ -309,7 +309,8 @@ TEST_F(ObsTest, TimerQuantilesTrackRecordedDurations) {
   obs::Registry reg;
   for (int i = 1; i <= 100; ++i)
     reg.record_ms("step", static_cast<double>(i));
-  const obs::TimerStat& t = reg.snapshot().timers.at("step");
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::TimerStat& t = snap.timers.at("step");
   EXPECT_EQ(t.count, 100u);
   EXPECT_NEAR(t.quantile_ms(0.5), 50.0, 6.0);
   EXPECT_NEAR(t.quantile_ms(0.99), 99.0, 12.0);

@@ -22,6 +22,7 @@
 #include "core/strategies.hpp"
 #include "core/strategy_registry.hpp"
 #include "metrics/metrics.hpp"
+#include "util/sim_time.hpp"
 #include "workload/generator.hpp"
 
 namespace ethshard::core {
@@ -132,6 +133,123 @@ TEST(SimStaticMetrics, IncrementalMatchesScratchUnderMetis) {
   expect_incremental_matches_scratch("metis:period_days=3", 11, 3);
 }
 
+// -------------------------------------- incremental differential suite
+//
+// cfg.verify_incremental makes the simulator itself recompute the static
+// cut from scratch at every window flush and after every repartition (and
+// rebuild the cumulative snapshot to compare with the cache), aborting on
+// any divergence. Running migration-heavy strategies under it is the
+// differential test for the O(deg) cut-delta path.
+
+void expect_verified_run(const std::string& spec, std::uint64_t history_seed,
+                         std::uint32_t k) {
+  const workload::History history = tiny_history(history_seed);
+  const auto strategy =
+      StrategyRegistry::global().make(spec, /*default_seed=*/7);
+  SimulatorConfig cfg;
+  cfg.k = k;
+  cfg.verify_incremental = true;
+  ShardingSimulator sim(history, *strategy, cfg);
+  const SimulationResult result = sim.run();
+  EXPECT_GT(result.windows.size(), 10u) << spec;
+}
+
+TEST(IncrementalDifferential, HashingPureIncrementalPath) {
+  expect_verified_run("hashing", 5, 2);
+  expect_verified_run("hashing", 5, 8);
+}
+
+// KL/BLP repartitions move many vertices at once — the heaviest consumer
+// of the per-vertex cut deltas.
+TEST(IncrementalDifferential, BlpMigrationHeavy) {
+  expect_verified_run("kl", 3, 4);
+  expect_verified_run("kl", 11, 8);
+}
+
+TEST(IncrementalDifferential, DsmOnlineMigrations) {
+  expect_verified_run("dsm", 3, 3);
+}
+
+// Full-graph METIS repartitions relabel wholesale, alternating the
+// delta path with the recompute fallback.
+TEST(IncrementalDifferential, MetisFamilies) {
+  expect_verified_run("metis:period_days=3", 11, 4);
+  expect_verified_run("r-metis:period_days=2", 3, 3);
+  expect_verified_run("r-metis:period_days=2", 7, 8);
+  expect_verified_run("tr-metis", 5, 4);
+}
+
+// ------------------------------------------------ gap fast-forwarding
+
+/// Runs `spec` over a history with a long mid-trace traffic gap, with and
+/// without fast_forward_gaps, and requires identical observable output.
+void expect_fast_forward_equivalent(const std::string& spec,
+                                    std::uint32_t k) {
+  const workload::History base = tiny_history(3);
+  const auto& blocks = base.chain.blocks();
+  ASSERT_FALSE(blocks.empty());
+  const util::Timestamp mid =
+      (blocks.front().timestamp + blocks.back().timestamp) / 2;
+  const workload::History gapped =
+      workload::with_traffic_gap(base, mid, 400 * util::kDay);
+
+  auto run = [&](bool fast_forward) {
+    const auto strategy =
+        StrategyRegistry::global().make(spec, /*default_seed=*/7);
+    SimulatorConfig cfg;
+    cfg.k = k;
+    cfg.fast_forward_gaps = fast_forward;
+    ShardingSimulator sim(gapped, *strategy, cfg);
+    return sim.run();
+  };
+  const SimulationResult on = run(true);
+  const SimulationResult off = run(false);
+
+  EXPECT_GT(on.gap_windows_skipped, 0u) << spec;
+  EXPECT_EQ(off.gap_windows_skipped, 0u) << spec;
+
+  ASSERT_EQ(on.windows.size(), off.windows.size()) << spec;
+  for (std::size_t i = 0; i < on.windows.size(); ++i) {
+    const WindowSample& a = on.windows[i];
+    const WindowSample& b = off.windows[i];
+    EXPECT_EQ(a.window_start, b.window_start) << spec << " window " << i;
+    EXPECT_EQ(a.window_end, b.window_end) << spec << " window " << i;
+    EXPECT_EQ(a.interactions, b.interactions) << spec << " window " << i;
+    EXPECT_EQ(a.dynamic_edge_cut, b.dynamic_edge_cut) << spec << " " << i;
+    EXPECT_EQ(a.dynamic_balance, b.dynamic_balance) << spec << " " << i;
+    EXPECT_EQ(a.static_edge_cut, b.static_edge_cut) << spec << " " << i;
+    EXPECT_EQ(a.static_balance, b.static_balance) << spec << " " << i;
+  }
+  ASSERT_EQ(on.repartitions.size(), off.repartitions.size()) << spec;
+  for (std::size_t i = 0; i < on.repartitions.size(); ++i) {
+    EXPECT_EQ(on.repartitions[i].time, off.repartitions[i].time) << spec;
+    EXPECT_EQ(on.repartitions[i].moves, off.repartitions[i].moves) << spec;
+    EXPECT_EQ(on.repartitions[i].moved_state_units,
+              off.repartitions[i].moved_state_units)
+        << spec;
+  }
+  EXPECT_EQ(on.total_moves, off.total_moves) << spec;
+  EXPECT_EQ(on.vertices, off.vertices) << spec;
+  EXPECT_EQ(on.distinct_edges, off.distinct_edges) << spec;
+  EXPECT_EQ(on.interactions, off.interactions) << spec;
+  EXPECT_EQ(on.final_static_edge_cut, off.final_static_edge_cut) << spec;
+  EXPECT_EQ(on.executed_cross_shard_fraction,
+            off.executed_cross_shard_fraction)
+      << spec;
+}
+
+// Hashing never repartitions (kNeverOnEmpty): the whole gap collapses.
+TEST(GapFastForward, HashingSkipsWholeGap) {
+  expect_fast_forward_equivalent("hashing", 4);
+}
+
+// Periodic strategies still repartition *inside* the gap at their usual
+// cadence; skipping must stop at every consultation point.
+TEST(GapFastForward, PeriodicStrategyKeepsGapRepartitions) {
+  expect_fast_forward_equivalent("kl", 4);
+  expect_fast_forward_equivalent("r-metis:period_days=2", 3);
+}
+
 // -------------------------------------------------- comparison_table
 
 /// Drops the trailing cellMs column (wall-clock, not deterministic) from
@@ -169,17 +287,19 @@ TEST(ComparisonTable, GoldenRegression) {
 
   // Regenerate by running this test and copying the printed `got` value.
   // A change here must be an intentional partitioner/simulator behaviour
-  // change, never incidental drift.
+  // change, never incidental drift. (Last change: self-calls no longer
+  // count in the dynamic edge-cut denominator, which shifts dynCut and
+  // the derived speedup.)
   const std::string expected =
       "method      k dynCut(med) dynBal(med)   normBal    speedup"
       "        moves  reparts\n"
-      "Hashing     2      0.5000      1.2857    0.2857      0.794"
+      "Hashing     2      0.5000      1.2857    0.2857      0.792"
       "            0        0\n"
-      "Hashing     4      0.7619      2.0000    0.3333      0.871"
+      "Hashing     4      0.7692      2.0000    0.3333      0.869"
       "            0        0\n"
-      "R-METIS     2      0.3750      1.3333    0.3333      0.919"
+      "R-METIS     2      0.3750      1.3333    0.3333      0.918"
       "         9730       63\n"
-      "R-METIS     4      0.6000      2.0000    0.3333      1.004"
+      "R-METIS     4      0.6000      2.0000    0.3333      1.003"
       "        14928       63\n";
   EXPECT_EQ(got, expected);
 }

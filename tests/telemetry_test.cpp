@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/simulator.hpp"
@@ -190,6 +192,75 @@ TEST(Telemetry, RepartitionRecordsCarryEventFields) {
     ++events;
   }
   EXPECT_EQ(events, r.repartitions.size());
+}
+
+// A strategy whose compute_partition stalls, to pin down where the
+// repartition's wall-clock cost lands in the telemetry stream.
+class SlowRepartitionStrategy final : public ShardingStrategy {
+ public:
+  explicit SlowRepartitionStrategy(std::chrono::milliseconds stall)
+      : stall_(stall) {}
+
+  std::string name() const override { return "slow"; }
+
+  partition::ShardId place(graph::Vertex v,
+                           std::span<const partition::ShardId>,
+                           const SimulatorEnv& env) override {
+    return static_cast<partition::ShardId>(v % env.k());
+  }
+
+  bool should_repartition(const WindowSnapshot& snapshot,
+                          const SimulatorEnv&) override {
+    if (fired_ || snapshot.interactions == 0) return false;
+    fired_ = true;
+    return true;
+  }
+
+  partition::Partition compute_partition(const SimulatorEnv& env) override {
+    std::this_thread::sleep_for(stall_);
+    partition::Partition p(env.current_partition().size(), env.k());
+    for (graph::Vertex v = 0; v < p.size(); ++v)
+      p.assign(v, static_cast<partition::ShardId>(v % env.k()));
+    return p;
+  }
+
+ private:
+  std::chrono::milliseconds stall_;
+  bool fired_ = false;
+};
+
+// Regression guard: the cost of computing a repartition must be reported
+// as that window's partitioner_ms, never leak into any window_wall_ms
+// (the old code restarted the window clock *before* repartitioning, so
+// the stall was misattributed to the following window's replay cost).
+TEST(Telemetry, RepartitionCostNotChargedToNextWindow) {
+  const auto stall = std::chrono::milliseconds(400);
+  const workload::History history = small_history();
+  SlowRepartitionStrategy strategy(stall);
+  std::ostringstream out;
+  TelemetrySink sink(out);
+  SimulatorConfig cfg;
+  cfg.k = 2;
+  cfg.telemetry = &sink;
+  ShardingSimulator sim(history, strategy, cfg);
+  const SimulationResult result = sim.run();
+  ASSERT_EQ(result.repartitions.size(), 1u);
+  EXPECT_GE(result.repartitions[0].compute_ms, 350.0);
+
+  std::istringstream in(out.str());
+  std::string line;
+  bool saw_repartition = false;
+  while (std::getline(in, line)) {
+    const auto m = as_map(parse_line(line));
+    if (m.at("repartition") == "true") {
+      saw_repartition = true;
+      EXPECT_GE(std::stod(m.at("partitioner_ms")), 350.0);
+    }
+    // No window's replay wall clock should come anywhere near the stall:
+    // this small history replays in well under 100ms total.
+    EXPECT_LT(std::stod(m.at("window_wall_ms")), 200.0) << line;
+  }
+  EXPECT_TRUE(saw_repartition);
 }
 
 TEST(Telemetry, OpenWritesFileAndRefusesBadPath) {

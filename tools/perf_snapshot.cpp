@@ -148,6 +148,24 @@ int cmd_run(const util::ArgParser& args) {
   results.push_back(run_bench("simulate_rmetis", reps, [&] {
     bench::simulate(history, core::Method::kRMetis, 4, seed);
   }));
+  // Migration-heavy cell: KL (the balanced-label-propagation scheme) at
+  // k = 8 moves vertices between shards every period, stressing the
+  // incremental static-cut maintenance and window-graph construction.
+  results.push_back(run_bench("simulate_blp_k8", reps, [&] {
+    bench::simulate(history, core::Method::kKl, 8, seed);
+  }));
+  // Long-gap trace: the same history with an 80-year quiet period spliced
+  // into the middle — ~175k empty 4-hour windows that the simulator must
+  // not pay for one at a time.
+  const auto& blocks = history.chain.blocks();
+  const util::Timestamp mid =
+      blocks.empty() ? 0
+                     : (blocks.front().timestamp + blocks.back().timestamp) / 2;
+  const workload::History gap_history =
+      workload::with_traffic_gap(history, mid, 80 * 365 * util::kDay);
+  results.push_back(run_bench("simulate_longgap", reps, [&] {
+    bench::simulate(gap_history, core::Method::kHashing, 4, seed);
+  }));
   results.push_back(run_bench("obs_histogram_record", reps, [&] {
     obs::Histogram h;
     for (int i = 0; i < 1000000; ++i)
