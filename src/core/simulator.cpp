@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
 
+#include "core/window_aggregator.hpp"
 #include "eth/gas.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/pipeline.hpp"
+#include "workload/windows.hpp"
 
 namespace ethshard::core {
 
@@ -123,32 +130,39 @@ void ShardingSimulator::place_vertex(
 }
 
 void ShardingSimulator::process_transaction(const eth::Transaction& tx) {
-  // Involved accounts, in order of first appearance in the trace.
-  std::vector<graph::Vertex> involved;
-  involved.reserve(2 + tx.calls.size());
+  // Involved accounts, in order of first appearance in the trace,
+  // deduplicated by epoch stamp (membership is one indexed load instead
+  // of a scan of everything noted so far — the attack era's many-dummy
+  // transactions made the old std::find quadratic visible; see bench
+  // simulate_manycall).
+  involved_scratch_.clear();
+  ++involved_epoch_;
   auto note = [&](graph::Vertex v) {
-    if (std::find(involved.begin(), involved.end(), v) == involved.end())
-      involved.push_back(v);
+    if (involved_stamp_.size() <= v) involved_stamp_.resize(v + 1, 0);
+    if (involved_stamp_[v] == involved_epoch_) return;
+    involved_stamp_[v] = involved_epoch_;
+    involved_scratch_.push_back(v);
   };
   note(tx.sender);
   for (const eth::Call& c : tx.calls) {
     note(c.from);
     note(c.to);
   }
+  const std::span<const graph::Vertex> involved{involved_scratch_};
 
   // Place any account appearing for the first time, handing the strategy
   // the shards of the transaction's already-placed participants (§II-C).
   for (graph::Vertex v : involved) {
     ensure_vertex(v);
     if (part_.shard_of(v) != partition::kUnassigned) continue;
-    std::vector<partition::ShardId> peers;
+    peers_scratch_.clear();
     for (graph::Vertex u : involved) {
       if (u == v) continue;
       if (u < part_.size() &&
           part_.shard_of(u) != partition::kUnassigned)
-        peers.push_back(part_.shard_of(u));
+        peers_scratch_.push_back(part_.shard_of(u));
     }
-    place_vertex(v, peers);
+    place_vertex(v, peers_scratch_);
   }
 
   // Record every call: graphs, window metrics, static counters.
@@ -420,6 +434,168 @@ bool ShardingSimulator::maybe_repartition(const WindowSnapshot& snapshot) {
   return true;
 }
 
+void ShardingSimulator::advance_windows() {
+  while (now_ >= window_start_ + cfg_.metric_window) {
+    // Long traffic gaps: once the accumulating window is empty, every
+    // pending window up to the current block is empty too. Skip them
+    // wholesale as far as the strategy's no_repartition_before bound
+    // allows — they would produce no sample and a guaranteed-false
+    // should_repartition, so the result is identical.
+    if (cfg_.fast_forward_gaps && cfg_.skip_empty_windows &&
+        cfg_.telemetry == nullptr && window_metrics_.empty()) {
+      const util::Timestamp width = cfg_.metric_window;
+      const auto pending =
+          static_cast<std::uint64_t>((now_ - window_start_) / width);
+      const util::Timestamp consult_at =
+          strategy_.no_repartition_before(last_repartition_);
+      std::uint64_t skip = 0;
+      if (consult_at > window_start_ + width) {
+        // Window i ends at window_start_ + i*width; skippable while
+        // that end stays strictly before consult_at.
+        const auto limit = static_cast<std::uint64_t>(
+            (consult_at - window_start_ - 1) / width);
+        skip = std::min(pending, limit);
+      }
+      if (skip > 0) {
+        window_start_ += static_cast<util::Timestamp>(skip) * width;
+        result_.gap_windows_skipped += skip;
+        ETHSHARD_OBS_COUNT("sim/gap_windows_skipped", skip);
+        continue;
+      }
+    }
+    flush_window(window_start_ + cfg_.metric_window);
+  }
+}
+
+void ShardingSimulator::run_serial() {
+  for (const eth::Block& block : history_.chain.blocks()) {
+    now_ = block.timestamp;
+    advance_windows();
+    for (const eth::Transaction& tx : block.transactions)
+      process_transaction(tx);
+  }
+}
+
+void ShardingSimulator::apply_window_table(const WindowTable& table) {
+  ETHSHARD_OBS_TIMER("sim/window_apply_ms");
+  // The producer measured its own wall time but must not touch obs (its
+  // thread-local registry may be the wrong one in experiment grids), so
+  // the table's cost is recorded here.
+  ETHSHARD_OBS_RECORD_MS("sim/window_aggregate_ms", table.aggregate_ms);
+
+  // Stage B.1 — placement replay, exactly the serial loop: transactions
+  // that introduce new vertices run in trace order with now_ at their
+  // block timestamp; within one, earlier placements are visible to later
+  // ones, and the partition state decides anew which vertices are
+  // unplaced and what their peers' shards are.
+  for (const PlacementRecord& rec : table.placements) {
+    now_ = rec.ts;
+    const std::span<const graph::Vertex> involved{
+        table.placement_vertices.data() + rec.begin,
+        static_cast<std::size_t>(rec.end - rec.begin)};
+    for (graph::Vertex v : involved) {
+      ensure_vertex(v);
+      if (part_.shard_of(v) != partition::kUnassigned) continue;
+      peers_scratch_.clear();
+      for (graph::Vertex u : involved) {
+        if (u == v) continue;
+        if (u < part_.size() &&
+            part_.shard_of(u) != partition::kUnassigned)
+          peers_scratch_.push_back(part_.shard_of(u));
+      }
+      place_vertex(v, peers_scratch_);
+    }
+  }
+  now_ = table.last_block_ts;
+
+  // Stage B.2 — one vectorized accounting pass. Every vertex the table
+  // mentions was placed above (its first-ever transaction is a placement
+  // record at or before this window), and no shard changes until the
+  // flush, so counting after all placements reproduces the per-call
+  // sums exactly (integer accumulators, order-independent).
+  const bool gas_model = cfg_.load_model == LoadModel::kGas;
+  for (const VertexWindowLoad& vl : table.loads) {
+    const graph::Weight load = gas_model ? vl.gas : vl.calls;
+    const partition::ShardId s = part_.shard_of(vl.v);
+    window_metrics_.record_activity(s, load);
+    activity_[vl.v] += load;
+    shard_loads_[s] += load;
+    window_.add_vertex_weight(vl.v, load);
+  }
+
+  if (table.self_calls > 0)
+    window_metrics_.record_self_interaction(table.self_calls);
+  std::uint64_t pair_calls = 0;
+  std::uint64_t cross_calls = 0;
+  for (const graph::PairDelta& pd : table.pairs) {
+    if (pd.u == pd.v) continue;
+    const graph::Weight count = pd.fwd + pd.rev;
+    const partition::ShardId su = part_.shard_of(pd.u);
+    const partition::ShardId sv = part_.shard_of(pd.v);
+    window_metrics_.record_interaction(su, sv, count);
+    pair_calls += count;
+    if (su != sv) cross_calls += count;
+  }
+  executed_total_ += table.total_calls;
+  executed_pair_ += pair_calls;
+  executed_cross_ += cross_calls;
+
+  // Bulk graph apply: one hash probe per distinct pair, with the static
+  // cut attributed per new undirected edge against the (fixed) endpoint
+  // shards — the same classification serial replay made call by call.
+  cumulative_.apply_pair_deltas(
+      table.pairs, [&](graph::Vertex u, graph::Vertex v) {
+        ++distinct_edges_;
+        if (part_.shard_of(u) != part_.shard_of(v)) ++cut_edges_;
+      });
+  window_.apply_pair_deltas(table.pairs,
+                            [](graph::Vertex, graph::Vertex) {});
+}
+
+void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
+  const auto& blocks = history_.chain.blocks();
+  const std::span<const eth::Block> block_span{blocks.data(),
+                                               blocks.size()};
+  const std::vector<workload::WindowSpan> spans =
+      workload::window_spans(block_span, cfg_.metric_window);
+
+  // One aggregator thread feeds this one; replay budget beyond 2 deepens
+  // the prefetch queue, letting aggregation run further ahead across
+  // cheap windows before a flush-heavy one stalls the consumer.
+  util::BoundedQueue<WindowTable> queue(replay_threads);
+  std::thread producer([&] {
+    try {
+      WindowAggregator aggregator;
+      for (const workload::WindowSpan& span : spans) {
+        WindowTable table = aggregator.aggregate(block_span, span);
+        if (!queue.push(std::move(table))) return;  // consumer bailed
+      }
+      queue.close();
+    } catch (...) {
+      queue.fail(std::current_exception());
+    }
+  });
+
+  try {
+    while (std::optional<WindowTable> table = queue.pop()) {
+      // The first block of this span is what would have triggered the
+      // pending flushes in serial replay; align now_ before advancing.
+      now_ = table->first_block_ts;
+      advance_windows();
+      apply_window_table(*table);
+    }
+  } catch (...) {
+    queue.close();
+    producer.join();
+    throw;
+  }
+  producer.join();
+  ETHSHARD_OBS_COUNT("sim/pipeline_windows", spans.size());
+  ETHSHARD_OBS_COUNT("sim/pipeline_prefetch_stalls", queue.pop_waits());
+  ETHSHARD_OBS_COUNT("sim/pipeline_backpressure_stalls",
+                     queue.push_waits());
+}
+
 SimulationResult ShardingSimulator::run() {
   ETHSHARD_CHECK_MSG(!ran_, "simulator is single-use");
   ran_ = true;
@@ -435,41 +611,14 @@ SimulationResult ShardingSimulator::run() {
   last_repartition_ = window_start_;
   window_wall_start_ = std::chrono::steady_clock::now();
 
-  for (const eth::Block& block : blocks) {
-    now_ = block.timestamp;
-    while (now_ >= window_start_ + cfg_.metric_window) {
-      // Long traffic gaps: once the accumulating window is empty, every
-      // pending window up to the current block is empty too. Skip them
-      // wholesale as far as the strategy's no_repartition_before bound
-      // allows — they would produce no sample and a guaranteed-false
-      // should_repartition, so the result is identical.
-      if (cfg_.fast_forward_gaps && cfg_.skip_empty_windows &&
-          cfg_.telemetry == nullptr && window_metrics_.empty()) {
-        const util::Timestamp width = cfg_.metric_window;
-        const auto pending =
-            static_cast<std::uint64_t>((now_ - window_start_) / width);
-        const util::Timestamp consult_at =
-            strategy_.no_repartition_before(last_repartition_);
-        std::uint64_t skip = 0;
-        if (consult_at > window_start_ + width) {
-          // Window i ends at window_start_ + i*width; skippable while
-          // that end stays strictly before consult_at.
-          const auto limit = static_cast<std::uint64_t>(
-              (consult_at - window_start_ - 1) / width);
-          skip = std::min(pending, limit);
-        }
-        if (skip > 0) {
-          window_start_ += static_cast<util::Timestamp>(skip) * width;
-          result_.gap_windows_skipped += skip;
-          ETHSHARD_OBS_COUNT("sim/gap_windows_skipped", skip);
-          continue;
-        }
-      }
-      flush_window(window_start_ + cfg_.metric_window);
-    }
-    for (const eth::Transaction& tx : block.transactions)
-      process_transaction(tx);
-  }
+  const std::size_t replay_threads = cfg_.replay_threads == 0
+                                         ? util::default_thread_count()
+                                         : cfg_.replay_threads;
+  if (replay_threads >= 2 && strategy_.supports_batched_replay())
+    run_pipelined(replay_threads);
+  else
+    run_serial();
+
   // Final partial window: its reported end is clamped to just past the
   // last block instead of a full metric_window into silence.
   flush_window(std::min(window_start_ + cfg_.metric_window, now_ + 1));

@@ -22,6 +22,8 @@
 
 namespace ethshard::core {
 
+struct WindowTable;  // core/window_aggregator.hpp
+
 /// What one unit of shard load means (§IV lists computation, storage and
 /// bandwidth as the resources a sharding scheme must balance).
 enum class LoadModel {
@@ -59,6 +61,15 @@ struct SimulatorConfig {
   /// (and, at repartitions, rebuild the cumulative snapshot and compare
   /// with the cache). Aborts on divergence. O(E) per window — for tests.
   bool verify_incremental = false;
+  /// Replay pipelining (the two-stage batched window replay; DESIGN.md
+  /// §6d). 0 = auto (hardware thread count), 1 = serial per-call replay,
+  /// >= 2 = pipelined: one background worker aggregates window W+1 while
+  /// the simulator applies and flushes window W. There is always exactly
+  /// one aggregator thread — values beyond 2 only deepen the prefetch
+  /// queue (more windows buffered ahead). The result is bit-identical
+  /// across every value for strategies declaring
+  /// supports_batched_replay(); all others silently use the serial path.
+  std::size_t replay_threads = 0;
 };
 
 /// One metric sample (a data point in Fig. 3).
@@ -139,6 +150,21 @@ class ShardingSimulator {
   class Env;
   class Sink;
 
+  /// Serial per-call replay: the reference semantics (and the
+  /// replay_threads = 1 / unsupported-strategy fallback).
+  void run_serial();
+  /// Two-stage pipelined replay: a producer thread aggregates windows
+  /// (core::WindowAggregator) into a bounded queue; this thread replays
+  /// placements and bulk-applies each table. Bit-identical to run_serial
+  /// for strategies that declare supports_batched_replay().
+  void run_pipelined(std::size_t replay_threads);
+  /// Flushes every window completed before now_ (including the gap
+  /// fast-forward) — the shared per-block / per-table advance loop.
+  void advance_windows();
+  /// Stage B: trace-order placement replay + one vectorized accounting
+  /// pass over a window table (exact because no vertex changes shard
+  /// between its placement and the window flush).
+  void apply_window_table(const WindowTable& table);
   void process_transaction(const eth::Transaction& tx);
   void apply_migration(graph::Vertex v, partition::ShardId s);
   void ensure_vertex(graph::Vertex v);
@@ -207,6 +233,15 @@ class ShardingSimulator {
   std::uint64_t executed_total_ = 0;
   std::uint64_t executed_pair_ = 0;
   std::uint64_t executed_cross_ = 0;
+
+  // Per-transaction involved-account dedup: epoch-stamped membership
+  // check (O(1) per endpoint) replacing the old std::find scan, which
+  // was quadratic in a transaction's distinct participants. Shared by
+  // process_transaction and the pipelined placement replay.
+  std::vector<graph::Vertex> involved_scratch_;
+  std::vector<std::uint64_t> involved_stamp_;
+  std::uint64_t involved_epoch_ = 0;
+  std::vector<partition::ShardId> peers_scratch_;
 
   metrics::WindowAccumulator window_metrics_;
   util::Timestamp now_ = 0;

@@ -249,6 +249,12 @@ void StrategyRegistry::add(const std::string& canonical,
 std::unique_ptr<ShardingStrategy> StrategyRegistry::make(
     std::string_view spec, std::uint64_t default_seed,
     std::size_t default_threads) const {
+  return make_build(spec, default_seed, default_threads).strategy;
+}
+
+StrategyBuild StrategyRegistry::make_build(
+    std::string_view spec, std::uint64_t default_seed,
+    std::size_t default_threads) const {
   const StrategySpec parsed = parse_strategy_spec(spec);
   Factory factory;
   {
@@ -263,12 +269,23 @@ std::unique_ptr<ShardingStrategy> StrategyRegistry::make(
     factory = it->second;
   }
   SpecReader reader(parsed, default_seed, default_threads);
-  std::unique_ptr<ShardingStrategy> strategy = factory(reader);
-  ETHSHARD_CHECK_MSG(strategy != nullptr, "strategy factory for '" +
-                                              parsed.name +
-                                              "' returned nothing");
+  StrategyBuild build;
+  // Simulator-level keys are consumed before the factory runs, so every
+  // registered strategy accepts them and finish() stays strict about
+  // genuinely unknown keys.
+  build.replay_threads = static_cast<std::size_t>(
+      reader.get_uint("replay_threads", 0));
+  ETHSHARD_CHECK_MSG(build.replay_threads <= 1024,
+                     "strategy '" + parsed.name + "': replay_threads = " +
+                         std::to_string(build.replay_threads) +
+                         " is not plausible — use 0 for hardware "
+                         "concurrency or 1 for serial replay");
+  build.strategy = factory(reader);
+  ETHSHARD_CHECK_MSG(build.strategy != nullptr, "strategy factory for '" +
+                                                    parsed.name +
+                                                    "' returned nothing");
   reader.finish();
-  return strategy;
+  return build;
 }
 
 bool StrategyRegistry::contains(std::string_view name) const {

@@ -77,6 +77,18 @@ class SpecReader {
   std::set<std::string> consumed_;
 };
 
+/// A configured strategy plus the simulator-level settings its spec
+/// carried. Some spec keys configure the *replay* rather than the
+/// strategy ("replay_threads=" → SimulatorConfig::replay_threads); they
+/// are consumed centrally by make_build so every registered strategy
+/// accepts them without factory changes.
+struct StrategyBuild {
+  std::unique_ptr<ShardingStrategy> strategy;
+  /// From the spec's "replay_threads=" key; 0 (the SimulatorConfig
+  /// default) = auto when absent.
+  std::size_t replay_threads = 0;
+};
+
 /// Open factory registry mapping names (plus aliases) to strategy
 /// builders. global() comes pre-loaded with the paper's five methods and
 /// DSM; user code may add its own before parsing CLI flags.
@@ -99,6 +111,13 @@ class StrategyRegistry {
   std::unique_ptr<ShardingStrategy> make(
       std::string_view spec, std::uint64_t default_seed = 1,
       std::size_t default_threads = 1) const;
+
+  /// Like make(), additionally returning the simulator-level settings
+  /// the spec carried (see StrategyBuild). make() delegates here and
+  /// discards them, so both entry points accept the same spec grammar.
+  StrategyBuild make_build(std::string_view spec,
+                           std::uint64_t default_seed = 1,
+                           std::size_t default_threads = 1) const;
 
   bool contains(std::string_view name) const;
 

@@ -1,0 +1,120 @@
+#include "core/window_aggregator.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "eth/gas.hpp"
+#include "util/check.hpp"
+
+namespace ethshard::core {
+
+WindowTable WindowAggregator::aggregate(std::span<const eth::Block> blocks,
+                                        const workload::WindowSpan& span) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ETHSHARD_CHECK(span.block_begin < span.block_end &&
+                 span.block_end <= blocks.size());
+
+  WindowTable table;
+  table.window_start = span.window_start;
+  table.first_block_ts = blocks[span.block_begin].timestamp;
+  table.last_block_ts = blocks[span.block_end - 1].timestamp;
+
+  pair_slot_.clear();
+  load_slot_.clear();
+
+  auto load_of = [&](graph::Vertex v) -> VertexWindowLoad& {
+    const auto [it, fresh] =
+        load_slot_.try_emplace(v, static_cast<std::uint32_t>(
+                                      table.loads.size()));
+    if (fresh) table.loads.push_back(VertexWindowLoad{v, 0, 0});
+    return table.loads[it->second];
+  };
+
+  for (std::uint64_t b = span.block_begin; b < span.block_end; ++b) {
+    const eth::Block& block = blocks[b];
+    for (const eth::Transaction& tx : block.transactions) {
+      // Involved accounts in first-appearance order — the serial loop's
+      // std::find dedup, as O(1) epoch-stamped lookups.
+      ++tx_epoch_;
+      involved_.clear();
+      bool any_new = false;
+      auto note = [&](graph::Vertex v) {
+        if (tx_stamp_.size() <= v) tx_stamp_.resize(v + 1, 0);
+        if (tx_stamp_[v] == tx_epoch_) return;
+        tx_stamp_[v] = tx_epoch_;
+        involved_.push_back(v);
+        if (seen_.size() <= v) seen_.resize(v + 1, false);
+        if (!seen_[v]) {
+          seen_[v] = true;
+          any_new = true;
+        }
+      };
+      note(tx.sender);
+      for (const eth::Call& c : tx.calls) {
+        note(c.from);
+        note(c.to);
+      }
+
+      if (any_new) {
+        PlacementRecord rec;
+        rec.ts = block.timestamp;
+        rec.begin = static_cast<std::uint32_t>(
+            table.placement_vertices.size());
+        table.placement_vertices.insert(table.placement_vertices.end(),
+                                        involved_.begin(), involved_.end());
+        rec.end = static_cast<std::uint32_t>(
+            table.placement_vertices.size());
+        table.placements.push_back(rec);
+      }
+
+      for (const eth::Call& c : tx.calls) {
+        const graph::Vertex lo = std::min(c.from, c.to);
+        const graph::Vertex hi = std::max(c.from, c.to);
+        const auto [it, fresh] = pair_slot_.try_emplace(
+            (lo << 32) | hi,
+            static_cast<std::uint32_t>(table.pairs.size()));
+        if (fresh) table.pairs.push_back(graph::PairDelta{lo, hi, 0, 0});
+        graph::PairDelta& pd = table.pairs[it->second];
+        // Same orientation rule as GraphBuilder::add_edge: fwd is
+        // lo→hi (and the full weight of a self-call).
+        if (c.from == lo)
+          ++pd.fwd;
+        else
+          ++pd.rev;
+
+        const graph::Weight gas_load =
+            1 + eth::call_gas(c, /*callee_exists=*/true) / 1000;
+        VertexWindowLoad& from_load = load_of(c.from);
+        ++from_load.calls;
+        from_load.gas += gas_load;
+        if (c.to != c.from) {
+          VertexWindowLoad& to_load = load_of(c.to);
+          ++to_load.calls;
+          to_load.gas += gas_load;
+        } else {
+          ++table.self_calls;
+        }
+        ++table.total_calls;
+      }
+    }
+  }
+
+  // Canonical order: the table (and everything Stage B derives from it)
+  // must not depend on unordered_map iteration — sorting here keeps the
+  // bulk apply bit-identical run to run and mode to mode.
+  std::sort(table.pairs.begin(), table.pairs.end(),
+            [](const graph::PairDelta& a, const graph::PairDelta& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  std::sort(table.loads.begin(), table.loads.end(),
+            [](const VertexWindowLoad& a, const VertexWindowLoad& b) {
+              return a.v < b.v;
+            });
+
+  table.aggregate_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  return table;
+}
+
+}  // namespace ethshard::core

@@ -1,0 +1,118 @@
+// Stage A of the two-stage window replay: partition-independent
+// aggregation of one metric window's blocks into a flat, canonically
+// ordered table.
+//
+// Within a window, the only partition-dependent work the simulator does
+// per call is classifying it by its endpoints' shards — and a vertex's
+// shard cannot change between its placement and the window's flush (the
+// paper's five methods migrate nothing mid-window; repartitions happen
+// only at flush boundaries). Everything else — which pairs interacted and
+// how often, how much load each vertex accrued under either LoadModel,
+// which transactions introduce never-seen vertices and with which peers —
+// depends only on the trace prefix. WindowAggregator computes exactly
+// that part once per window, so Stage B (ShardingSimulator::
+// apply_window_table) can replay placements in trace order and then
+// account the whole window in one vectorized pass over the table,
+// bit-identically to the per-call serial loop. Because the table is
+// partition-independent, a background worker can aggregate window W+1
+// while the simulator is still applying/flushing window W (see
+// SimulatorConfig::replay_threads).
+//
+// Threading note: aggregate() runs on the pipeline's producer thread in
+// pipelined mode, whose thread-local observability registry may differ
+// from the simulation's (core/experiment.cpp scopes a registry per
+// experiment cell). This translation unit therefore uses no ETHSHARD_OBS_*
+// macros; the consumer records WindowTable::aggregate_ms instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "eth/chain.hpp"
+#include "graph/builder.hpp"
+#include "util/sim_time.hpp"
+#include "workload/windows.hpp"
+
+namespace ethshard::core {
+
+/// Activity accrued by one vertex over one window, under both load
+/// models (SimulatorConfig picks one; both are partition-independent, so
+/// the aggregation computes them side by side for free).
+struct VertexWindowLoad {
+  graph::Vertex v = 0;
+  /// Σ 1 per call the vertex participates in (LoadModel::kCalls); a
+  /// self-call counts once.
+  graph::Weight calls = 0;
+  /// Σ (1 + call_gas/1000) over the same calls (LoadModel::kGas).
+  graph::Weight gas = 0;
+};
+
+/// One transaction that introduces at least one never-seen vertex, with
+/// the deduplicated involved list (sender first, then call endpoints in
+/// trace order) Stage B needs to replay the serial placement loop
+/// exactly: which of them are new, and each one's peer shards, fall out
+/// of the partition state at replay time.
+struct PlacementRecord {
+  /// Block timestamp — env.now() while the serial loop placed this
+  /// transaction's vertices.
+  util::Timestamp ts = 0;
+  /// Range [begin, end) into WindowTable::placement_vertices.
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+/// The partition-independent digest of one metric window. All vectors
+/// are canonically sorted (pairs by (u, v), loads by v), so the table —
+/// and everything Stage B derives from it — is independent of hash-map
+/// iteration order.
+struct WindowTable {
+  util::Timestamp window_start = 0;
+  util::Timestamp first_block_ts = 0;
+  util::Timestamp last_block_ts = 0;
+  /// All calls in the window, including self-calls.
+  std::uint64_t total_calls = 0;
+  /// Calls whose caller and callee are the same account.
+  std::uint64_t self_calls = 0;
+  /// Deduplicated per-pair call weights in the builder's canonical
+  /// orientation (u <= v; self-loops carry their weight in fwd). A
+  /// non-loop pair's serial interaction count is fwd + rev.
+  std::vector<graph::PairDelta> pairs;
+  std::vector<VertexWindowLoad> loads;
+  /// Flat storage for the PlacementRecord ranges.
+  std::vector<graph::Vertex> placement_vertices;
+  std::vector<PlacementRecord> placements;
+  /// Wall-clock cost of building this table (producer-side; recorded to
+  /// obs by the consumer).
+  double aggregate_ms = 0;
+};
+
+/// Streaming aggregator. Windows must be fed in trace order through one
+/// aggregator instance: first-appearance detection (which drives the
+/// placement records) is a sequential property of the whole prefix,
+/// which is why the pipeline has exactly one producer.
+class WindowAggregator {
+ public:
+  WindowAggregator() = default;
+
+  /// Builds the table for one window span of `blocks` (the same span the
+  /// simulator will apply). Spans must arrive in order, without gaps.
+  WindowTable aggregate(std::span<const eth::Block> blocks,
+                        const workload::WindowSpan& span);
+
+ private:
+  /// packed (u << 32 | v), canonical u <= v → index into table.pairs.
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_slot_;
+  /// vertex → index into table.loads.
+  std::unordered_map<std::uint64_t, std::uint32_t> load_slot_;
+  /// First-ever appearance across the whole history prefix.
+  std::vector<bool> seen_;
+  /// Per-transaction involved-dedup stamps (grown on demand, epoch-
+  /// stamped so no per-transaction clearing is needed).
+  std::vector<std::uint64_t> tx_stamp_;
+  std::uint64_t tx_epoch_ = 0;
+  std::vector<graph::Vertex> involved_;
+};
+
+}  // namespace ethshard::core

@@ -1,0 +1,136 @@
+// Bounded producer/consumer handoff for pipelined replay.
+//
+// The simulator's pipelined window replay runs a background worker that
+// aggregates window W+1 while the main thread applies window W (see
+// core/window_aggregator.hpp). BoundedQueue is the channel between them:
+// a mutex+condvar FIFO with a hard capacity (backpressure keeps the
+// producer at most `capacity` windows ahead, bounding memory), explicit
+// close semantics, and producer-error propagation so an exception thrown
+// while aggregating surfaces on the consumer instead of vanishing on a
+// detached thread.
+//
+// Deliberately simple — no lock-free tricks. The payloads are whole
+// window tables (thousands of calls each), so the per-item cost of a
+// mutex is noise, and the straightforward implementation is trivially
+// TSan-clean (this queue is the first cross-thread handoff on the
+// simulator's hot path; tools/ci_sanitize.sh races it on every run).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ethshard::util {
+
+/// Blocking bounded FIFO between one producer and one consumer thread.
+/// (Multiple producers/consumers would be correct too; the simulator only
+/// needs 1:1.)
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    ETHSHARD_CHECK_MSG(capacity_ > 0, "BoundedQueue needs capacity >= 1");
+  }
+
+  /// Blocks while the queue is full. Returns false — dropping `value` —
+  /// when the queue was closed (consumer gave up); the producer should
+  /// stop producing.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      ++push_waits_;
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns the next item;
+  /// std::nullopt once the queue is closed and drained. Rethrows the
+  /// producer's exception (see fail) once the items before it are drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      ++pop_waits_;
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
+    if (items_.empty()) {
+      if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        throw_with_lock_released(std::move(lock), err);
+      }
+      return std::nullopt;
+    }
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Idempotent. Wakes every waiter; subsequent push() returns false and
+  /// pop() drains the remaining items, then returns std::nullopt.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Producer-side error escape hatch: records the exception and closes.
+  /// The consumer's pop() rethrows it after draining earlier items.
+  void fail(std::exception_ptr error) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::move(error);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Times push() found the queue full / pop() found it empty — the
+  /// pipeline's backpressure and prefetch-stall signals. Single-threaded
+  /// reads only (call after the producer and consumer are done, or from
+  /// the respective owning side).
+  std::uint64_t push_waits() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return push_waits_;
+  }
+  std::uint64_t pop_waits() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pop_waits_;
+  }
+
+ private:
+  [[noreturn]] static void throw_with_lock_released(
+      std::unique_lock<std::mutex> lock, std::exception_ptr err) {
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::exception_ptr error_;
+  std::uint64_t push_waits_ = 0;
+  std::uint64_t pop_waits_ = 0;
+};
+
+}  // namespace ethshard::util

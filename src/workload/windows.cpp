@@ -1,0 +1,33 @@
+#include "workload/windows.hpp"
+
+#include "util/check.hpp"
+
+namespace ethshard::workload {
+
+std::vector<WindowSpan> window_spans(std::span<const eth::Block> blocks,
+                                     util::Timestamp width) {
+  ETHSHARD_CHECK(width > 0);
+  std::vector<WindowSpan> spans;
+  if (blocks.empty()) return spans;
+
+  const util::Timestamp origin = blocks.front().timestamp;
+  std::uint64_t begin = 0;
+  // Invariant: blocks[begin .. i) all fall into the bin that starts at
+  // `start`. A block past the bin's end closes the span and opens the
+  // bin it falls into (skipping empty bins entirely).
+  util::Timestamp start = origin;
+  for (std::uint64_t i = 0; i < blocks.size(); ++i) {
+    const util::Timestamp ts = blocks[i].timestamp;
+    ETHSHARD_CHECK_MSG(i == 0 || blocks[i - 1].timestamp <= ts,
+                       "window_spans requires time-sorted blocks");
+    if (ts >= start + width) {
+      spans.push_back(WindowSpan{start, begin, i});
+      start = origin + ((ts - origin) / width) * width;
+      begin = i;
+    }
+  }
+  spans.push_back(WindowSpan{start, begin, blocks.size()});
+  return spans;
+}
+
+}  // namespace ethshard::workload

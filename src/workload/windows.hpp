@@ -1,0 +1,39 @@
+// Window-bounded block iteration.
+//
+// The simulator's metric windows tile the chain's lifetime in fixed-width
+// bins anchored at the first block's timestamp (§II: four-hour windows).
+// window_spans precomputes, for a time-sorted block sequence, the
+// contiguous block range falling into each *non-empty* bin, so a windowed
+// consumer (the pipelined replay's aggregation stage) can walk whole
+// windows without re-deriving boundaries block by block. Empty bins
+// produce no span — gaps show up as jumps in window_start, mirroring how
+// the serial replay loop flushes (or fast-forwards) quiet windows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eth/chain.hpp"
+#include "util/sim_time.hpp"
+
+namespace ethshard::workload {
+
+/// The blocks of one non-empty metric window.
+struct WindowSpan {
+  /// Bin start: blocks.front().timestamp + i * width for some i >= 0.
+  util::Timestamp window_start = 0;
+  /// Block index range [block_begin, block_end) within the input span;
+  /// every contained block has window_start <= timestamp < window_start
+  /// + width.
+  std::uint64_t block_begin = 0;
+  std::uint64_t block_end = 0;
+};
+
+/// Bins `blocks` (time-sorted, as eth::Chain guarantees) into metric
+/// windows of the given width. Returns one span per non-empty window, in
+/// time order, covering every block exactly once. O(blocks).
+std::vector<WindowSpan> window_spans(std::span<const eth::Block> blocks,
+                                     util::Timestamp width);
+
+}  // namespace ethshard::workload

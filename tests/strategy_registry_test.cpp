@@ -278,6 +278,51 @@ TEST(StrategyRegistryTest, BadThreadsValuesAreNamed) {
       "unknown key 'threads'");
 }
 
+// ---------------------------------------------------- replay_threads key
+
+TEST(StrategyRegistryTest, ReplayThreadsIsConsumedForEveryStrategy) {
+  // replay_threads= is a simulator-level key handled by make_build before
+  // the factory runs, so every registered strategy accepts it — even
+  // hashing, which rejects the partitioner-level threads= key.
+  for (const char* spec :
+       {"hashing:replay_threads=2", "kl:replay_threads=4",
+        "metis:replay_threads=1", "r-metis:replay_threads=8",
+        "tr-metis:replay_threads=0", "dsm:replay_threads=3"}) {
+    const core::StrategyBuild build =
+        StrategyRegistry::global().make_build(spec, 7);
+    ASSERT_NE(build.strategy, nullptr) << spec;
+  }
+  EXPECT_EQ(
+      StrategyRegistry::global().make_build("hashing:replay_threads=2", 7)
+          .replay_threads,
+      2u);
+  EXPECT_EQ(StrategyRegistry::global().make_build("hashing", 7).replay_threads,
+            0u);  // absent -> 0 = auto
+  // make() delegates to make_build and simply discards the knob.
+  EXPECT_NE(StrategyRegistry::global().make("metis:replay_threads=2", 7),
+            nullptr);
+}
+
+TEST(StrategyRegistryTest, BadReplayThreadsValuesAreNamed) {
+  expect_failure_mentioning(
+      [] {
+        StrategyRegistry::global().make_build("hashing:replay_threads=abc", 7);
+      },
+      "key 'replay_threads'");
+  expect_failure_mentioning(
+      [] {
+        StrategyRegistry::global().make_build("hashing:replay_threads=4096",
+                                              7);
+      },
+      "not plausible");
+  expect_failure_mentioning(
+      [] {
+        StrategyRegistry::global().make_build(
+            "hashing:replay_threads=1,replay_threads=2", 7);
+      },
+      "repeats key 'replay_threads'");
+}
+
 TEST(StrategyRegistryTest, MalformedSpecsNameTheOffendingToken) {
   expect_failure_mentioning(
       [] { StrategyRegistry::global().make("r-metis:threads", 7); },

@@ -4,8 +4,9 @@
 #   tools/ci_sanitize.sh                  # asan suite (the historical default)
 #   tools/ci_sanitize.sh --suite asan     # ASan+UBSan build, full test suite
 #   tools/ci_sanitize.sh --suite tsan     # TSan build, parallel partition +
-#                                         # util suites (the multithreaded
-#                                         # surface worth racing)
+#                                         # util + pipelined-replay suites
+#                                         # (the multithreaded surface worth
+#                                         # racing)
 #   tools/ci_sanitize.sh --suite all      # both, asan first
 #
 # Extra arguments after the suite selector are forwarded to ctest.
@@ -33,9 +34,14 @@ run_asan() {
 run_tsan() {
   cmake --preset tsan
   # Only the binaries with real multithreaded surface — building the whole
-  # tree (benches, examples) under TSan buys nothing.
+  # tree (benches, examples) under TSan buys nothing. test_pipelined_replay
+  # covers the replay pipeline's producer/consumer handoff, the first
+  # cross-thread traffic on the simulator's hot path.
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_parallel_partition test_util
+    --target test_parallel_partition test_util test_pipelined_replay
+  # Smaller histories, same strategy × load-model × thread matrix: TSan
+  # multiplies runtime ~10x, the differential coverage is per-window.
+  ETHSHARD_DIFF_SCALE=0.0002 \
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --preset tsan "$@"
 }

@@ -96,7 +96,15 @@ int usage() {
       "                       compare (whose partitioners auto-fit the\n"
       "                       leftover budget). 0 (default) = serial\n"
       "                       partitioner / hardware-sized grid. Results\n"
-      "                       never depend on N (mt-MLKP determinism)\n");
+      "                       never depend on N (mt-MLKP determinism)\n"
+      "  --replay-threads N   window-replay pipelining for simulate and\n"
+      "                       (per cell, budget-capped) compare:\n"
+      "                       0 (default) = hardware, 1 = serial per-call\n"
+      "                       replay, >=2 = a background worker aggregates\n"
+      "                       window W+1 while W is applied (N-2 extra\n"
+      "                       prefetch-queue slots). Bit-identical results\n"
+      "                       at every N; the spec key 'replay_threads='\n"
+      "                       overrides the flag\n");
   return 2;
 }
 
@@ -238,11 +246,19 @@ int cmd_simulate(const util::ArgParser& args) {
   // "threads=" key overrides it (0 = keep the serial default).
   const std::size_t threads =
       static_cast<std::size_t>(args.get_uint("threads", 0));
-  const auto strategy = core::StrategyRegistry::global().make(
+  core::StrategyBuild build = core::StrategyRegistry::global().make_build(
       args.get("method", "R-METIS"), args.get_uint("seed", 7),
       threads == 0 ? 1 : threads);
+  const auto& strategy = build.strategy;
   core::SimulatorConfig cfg;
   cfg.k = k;
+  // --replay-threads (or the spec's own "replay_threads=" key, which
+  // wins) selects serial vs pipelined window replay; the result is
+  // bit-identical either way, so this is purely a speed knob.
+  cfg.replay_threads = build.replay_threads != 0
+                           ? build.replay_threads
+                           : static_cast<std::size_t>(
+                                 args.get_uint("replay-threads", 0));
   std::unique_ptr<core::TelemetrySink> telemetry;
   const std::string telemetry_path = args.get("telemetry-out", "");
   if (!telemetry_path.empty()) {
@@ -443,6 +459,10 @@ int cmd_compare(const util::ArgParser& args) {
   // hardware budget the grid workers leave (never oversubscribing).
   cfg.threads = static_cast<std::size_t>(args.get_uint("threads", 0));
   cfg.partitioner_threads = 0;
+  // Per-cell replay pipelining; run_experiment caps it against the grid
+  // workers, and a cell capped to 1 is bit-identical serial replay.
+  cfg.replay_threads =
+      static_cast<std::size_t>(args.get_uint("replay-threads", 0));
 
   const std::string shards = args.get("shards", "2,4,8");
   cfg.shard_counts.clear();
@@ -501,6 +521,13 @@ int main(int argc, char** argv) {
                                     << " is not plausible — use 0 for the "
                                        "default (serial partitioner / "
                                        "hardware-sized grid)");
+    const std::uint64_t replay_threads_flag =
+        args.get_uint("replay-threads", 0);
+    ETHSHARD_CHECK_MSG(replay_threads_flag <= 1024,
+                       "--replay-threads "
+                           << replay_threads_flag
+                           << " is not plausible — use 0 for hardware "
+                              "concurrency or 1 for serial replay");
 
     int rc;
     if (command == "generate") {

@@ -9,6 +9,11 @@
 # bench exceeding its baseline wall_ms by more than its per-entry
 # tolerance factor fails the script; use that on dedicated hardware.
 #
+# The snapshot is written to the repo root as BENCH_<stamp>.json (the
+# perf_snapshot default) and kept after the run, so a failing check
+# leaves the evidence next to bench/baseline.json instead of in a
+# deleted mktemp file. Override with ETHSHARD_BENCH_OUT=PATH.
+#
 # Honours ETHSHARD_SCALE / ETHSHARD_SEED / ETHSHARD_PERF_REPS.
 set -eu
 
@@ -16,8 +21,8 @@ BUILD=${1:?usage: tools/perf_check.sh <build-dir> [--strict]}
 shift
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
-SNAPSHOT=$(mktemp "${TMPDIR:-/tmp}/BENCH_check.XXXXXX.json")
-trap 'rm -f "$SNAPSHOT"' EXIT
+STAMP=$(date -u +%Y%m%dT%H%M%SZ)
+SNAPSHOT=${ETHSHARD_BENCH_OUT:-"$ROOT/BENCH_$STAMP.json"}
 
 "$BUILD/tools/perf_snapshot" run --out "$SNAPSHOT"
 "$BUILD/tools/perf_snapshot" check \

@@ -15,8 +15,12 @@
 // Snapshot schema (v1):
 //   {"schema_version": 1, "stamp": "...", "threads": N,
 //    "scale": F, "seed": N, "entries": [
-//      {"name": "...", "reps": N, "wall_ms": F, "p50_ms": F,
-//       "p99_ms": F}, ...]}
+//      {"name": "...", "reps": N, "threads": N, "wall_ms": F,
+//       "p50_ms": F, "p99_ms": F}, ...]}
+// The per-entry "threads" records the thread knob that bench ran with
+// (partitioner threads for mlkp_*, replay threads for simulate_*); the
+// checker's field scanner ignores keys it does not know, so baselines
+// without it stay valid.
 // Baseline schema (v1): entries carry "name", "wall_ms" and an optional
 // "tolerance" ratio (default 2.5: fail when snapshot wall_ms exceeds
 // 2.5x the baseline).
@@ -53,7 +57,8 @@ using namespace ethshard;
 struct BenchResult {
   std::string name;
   int reps = 0;
-  double wall_ms = 0;  // median of the reps
+  std::size_t threads = 1;  // thread knob the bench was configured with
+  double wall_ms = 0;       // median of the reps
   double p50_ms = 0;
   double p99_ms = 0;
 };
@@ -66,7 +71,7 @@ double quantile_of(std::vector<double> sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
-BenchResult run_bench(const std::string& name, int reps,
+BenchResult run_bench(const std::string& name, int reps, std::size_t threads,
                       const std::function<void()>& body) {
   std::vector<double> samples;
   samples.reserve(reps);
@@ -80,11 +85,13 @@ BenchResult run_bench(const std::string& name, int reps,
   BenchResult res;
   res.name = name;
   res.reps = reps;
+  res.threads = threads;
   res.wall_ms = quantile_of(samples, 0.5);
   res.p50_ms = res.wall_ms;
   res.p99_ms = quantile_of(samples, 0.99);
-  std::fprintf(stderr, "[perf] %-24s %4d reps  p50 %10.3f ms  p99 %10.3f ms\n",
-               name.c_str(), reps, res.p50_ms, res.p99_ms);
+  std::fprintf(stderr,
+               "[perf] %-28s %4d reps %2zu thr  p50 %10.3f ms  p99 %10.3f ms\n",
+               name.c_str(), reps, threads, res.p50_ms, res.p99_ms);
   return res;
 }
 
@@ -118,41 +125,84 @@ int cmd_run(const util::ArgParser& args) {
   const std::size_t threads = std::min<std::size_t>(
       args.get_uint("threads", 4), util::default_thread_count());
 
-  // Graph size tracks the scale knob so smoke runs stay sub-second.
+  // Graph size tracks the scale knob so smoke runs stay sub-second. The
+  // _large variants use a 10x graph: at the default scale the base graph
+  // coarsens away in one or two levels, which under-exercises the
+  // parallel coarsen/refine ladders that dominate real partitioner runs.
   const auto n = static_cast<std::uint64_t>(std::max(
       1000.0, scale * 2e6));
+  const auto n_large = static_cast<std::uint64_t>(std::max(
+      20000.0, scale * 2e7));
   util::Rng rng(seed);
   const graph::Graph ba = graph::make_barabasi_albert(n, 4, rng);
+  util::Rng rng_large(seed + 1);
+  const graph::Graph ba_large =
+      graph::make_barabasi_albert(n_large, 4, rng_large);
   const workload::History history = bench::make_history(scale, seed);
+  // Auto replay (replay_threads = 0) resolves to the hardware count.
+  const std::size_t auto_replay = util::default_thread_count();
 
   std::vector<BenchResult> results;
-  results.push_back(run_bench("mlkp_partition_serial", reps, [&] {
+  results.push_back(run_bench("mlkp_partition_serial", reps, 1, [&] {
     partition::MlkpConfig cfg;
     cfg.seed = seed;
     cfg.threads = 1;
     partition::MlkpPartitioner(cfg).partition(ba, 8);
   }));
-  results.push_back(run_bench("mlkp_partition_mt", reps, [&] {
+  results.push_back(run_bench("mlkp_partition_mt", reps, threads, [&] {
     partition::MlkpConfig cfg;
     cfg.seed = seed;
     cfg.threads = threads;
     partition::MlkpPartitioner(cfg).partition(ba, 8);
   }));
-  results.push_back(run_bench("parallel_matching_mt", reps, [&] {
+  results.push_back(run_bench("mlkp_partition_serial_large", reps, 1, [&] {
+    partition::MlkpConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = 1;
+    partition::MlkpPartitioner(cfg).partition(ba_large, 8);
+  }));
+  results.push_back(run_bench("mlkp_partition_mt_large", reps, threads, [&] {
+    partition::MlkpConfig cfg;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    partition::MlkpPartitioner(cfg).partition(ba_large, 8);
+  }));
+  results.push_back(run_bench("parallel_matching_mt", reps, threads, [&] {
     partition::parallel_matching(ba, partition::MatchingScheme::kHeavyEdge,
                                  seed, threads);
   }));
-  results.push_back(run_bench("simulate_hashing", reps, [&] {
+  results.push_back(run_bench("simulate_hashing", reps, auto_replay, [&] {
     bench::simulate(history, core::Method::kHashing, 4, seed);
   }));
-  results.push_back(run_bench("simulate_rmetis", reps, [&] {
+  // Same cell with the replay pipeline pinned on (replay_threads = 2):
+  // locks in the pipelined-replay win even if the simulator's default
+  // ever changes, and isolates it from the auto-detection path.
+  results.push_back(run_bench("simulate_hashing_pipelined", reps, 2, [&] {
+    bench::simulate(history, core::Method::kHashing, 4, seed, 2);
+  }));
+  results.push_back(run_bench("simulate_rmetis", reps, auto_replay, [&] {
     bench::simulate(history, core::Method::kRMetis, 4, seed);
   }));
   // Migration-heavy cell: KL (the balanced-label-propagation scheme) at
   // k = 8 moves vertices between shards every period, stressing the
   // incremental static-cut maintenance and window-graph construction.
-  results.push_back(run_bench("simulate_blp_k8", reps, [&] {
+  results.push_back(run_bench("simulate_blp_k8", reps, auto_replay, [&] {
     bench::simulate(history, core::Method::kKl, 8, seed);
+  }));
+  results.push_back(run_bench("simulate_blp_k8_pipelined", reps, 2, [&] {
+    bench::simulate(history, core::Method::kKl, 8, seed, 2);
+  }));
+  // Many-call transaction shape: attack spam fanning out to ~200 dummy
+  // accounts per transaction, replayed serially (replay_threads = 1) to
+  // exercise the per-transaction involved-set dedup on wide call lists.
+  workload::GeneratorConfig manycall_cfg;
+  manycall_cfg.scale = scale / 4;
+  manycall_cfg.seed = seed;
+  manycall_cfg.attack_dummies_per_tx = 200;
+  const workload::History manycall_history =
+      workload::EthereumHistoryGenerator(manycall_cfg).generate();
+  results.push_back(run_bench("simulate_manycall", reps, 1, [&] {
+    bench::simulate(manycall_history, core::Method::kHashing, 4, seed, 1);
   }));
   // Long-gap trace: the same history with an 80-year quiet period spliced
   // into the middle — ~175k empty 4-hour windows that the simulator must
@@ -163,10 +213,10 @@ int cmd_run(const util::ArgParser& args) {
                      : (blocks.front().timestamp + blocks.back().timestamp) / 2;
   const workload::History gap_history =
       workload::with_traffic_gap(history, mid, 80 * 365 * util::kDay);
-  results.push_back(run_bench("simulate_longgap", reps, [&] {
+  results.push_back(run_bench("simulate_longgap", reps, auto_replay, [&] {
     bench::simulate(gap_history, core::Method::kHashing, 4, seed);
   }));
-  results.push_back(run_bench("obs_histogram_record", reps, [&] {
+  results.push_back(run_bench("obs_histogram_record", reps, 1, [&] {
     obs::Histogram h;
     for (int i = 0; i < 1000000; ++i)
       h.record(static_cast<double>((i % 997) + 1));
@@ -188,6 +238,7 @@ int cmd_run(const util::ArgParser& args) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"reps\": " << r.reps
+        << ", \"threads\": " << r.threads
         << ", \"wall_ms\": " << fmt(r.wall_ms)
         << ", \"p50_ms\": " << fmt(r.p50_ms)
         << ", \"p99_ms\": " << fmt(r.p99_ms) << "}"
