@@ -31,7 +31,7 @@ int main() {
   for (workload::Preset preset : workload::kAllPresets) {
     const workload::History history =
         workload::EthereumHistoryGenerator(
-            workload::preset_config(preset, scale, seed))
+            workload::preset_config(preset, {.scale = scale, .seed = seed}))
             .generate();
 
     const core::SimulationResult metis =

@@ -77,7 +77,7 @@ void print_counterfactual_section(double scale, std::uint64_t seed) {
        {workload::Preset::kPaper, workload::Preset::kNoAttack}) {
     const workload::History history =
         workload::EthereumHistoryGenerator(
-            workload::preset_config(preset, scale, seed))
+            workload::preset_config(preset, {.scale = scale, .seed = seed}))
             .generate();
     const core::SimulationResult r =
         bench::simulate(history, core::Method::kMetis, 2);

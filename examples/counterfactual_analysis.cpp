@@ -21,7 +21,7 @@ int main() {
        {workload::Preset::kPaper, workload::Preset::kNoAttack}) {
     const workload::History history =
         workload::EthereumHistoryGenerator(
-            workload::preset_config(preset, /*scale=*/0.001, /*seed=*/21))
+            workload::preset_config(preset, {.scale = 0.001, .seed = 21}))
             .generate();
 
     const auto strategy = core::make_strategy(core::Method::kMetis);

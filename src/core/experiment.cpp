@@ -54,8 +54,9 @@ std::vector<std::string> ExperimentConfig::validate() const {
   return problems;
 }
 
-std::vector<ExperimentRun> run_experiment(const workload::History& history,
-                                          const ExperimentConfig& config) {
+std::vector<ExperimentRun> run_experiment(
+    const workload::BlockSourceFactory& sources,
+    const ExperimentConfig& config) {
   const std::vector<std::string> problems = config.validate();
   if (!problems.empty()) {
     std::ostringstream os;
@@ -116,7 +117,9 @@ std::vector<ExperimentRun> run_experiment(const workload::History& history,
           sim_cfg.k = cell.k;
           sim_cfg.load_model = config.load_model;
           sim_cfg.replay_threads = cell_replay_threads;
-          ShardingSimulator sim(history, *strategy, sim_cfg);
+          const std::unique_ptr<workload::BlockSource> source =
+              sources.open();
+          ShardingSimulator sim(*source, *strategy, sim_cfg);
 
           run.method = cell.method;
           run.k = cell.k;
@@ -169,6 +172,13 @@ std::vector<ExperimentRun> run_experiment(const workload::History& history,
             : busy_ms / (grid_wall_ms * static_cast<double>(workers)));
   }
   return runs;
+}
+
+std::vector<ExperimentRun> run_experiment(const workload::History& history,
+                                          const ExperimentConfig& config) {
+  const workload::MaterializedSourceFactory sources(history.chain,
+                                                    &history.accounts);
+  return run_experiment(sources, config);
 }
 
 std::string comparison_table(const std::vector<ExperimentRun>& runs) {

@@ -61,9 +61,26 @@ struct ExperimentRun {
 };
 
 /// Runs the full grid (methods × shard_counts), in parallel when the
-/// hardware allows. Deterministic for a fixed config.
+/// hardware allows. Deterministic for a fixed config. Each cell opens
+/// its own stream from `sources` (BlockSourceFactory::open is required
+/// to be thread-safe), so cells replay the history independently and no
+/// cell ever needs it whole in memory.
+std::vector<ExperimentRun> run_experiment(
+    const workload::BlockSourceFactory& sources,
+    const ExperimentConfig& config);
+
+/// Materialized-history adapter: every cell streams `history` zero-copy
+/// through a MaterializedSourceFactory. `history` must outlive the call
+/// (it is aliased, not copied). Bit-identical to streaming the same
+/// blocks through the factory form.
 std::vector<ExperimentRun> run_experiment(const workload::History& history,
                                           const ExperimentConfig& config);
+
+/// A temporary History would dangle behind the aliasing adapter above —
+/// bind it to a name (or stream via a factory) instead.
+std::vector<ExperimentRun> run_experiment(workload::History&& history,
+                                          const ExperimentConfig& config) =
+    delete;
 
 /// Fixed-width comparison table (one row per run).
 std::string comparison_table(const std::vector<ExperimentRun>& runs);

@@ -10,6 +10,7 @@
 #include "eth/gas.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
+#include "util/mem.hpp"
 #include "util/parallel.hpp"
 #include "util/pipeline.hpp"
 #include "workload/windows.hpp"
@@ -96,10 +97,26 @@ void ShardingSimulator::apply_migration(graph::Vertex v,
   ETHSHARD_OBS_COUNT("sim/migrations", 1);
 }
 
+ShardingSimulator::ShardingSimulator(workload::BlockSource& source,
+                                     ShardingStrategy& strategy,
+                                     SimulatorConfig cfg)
+    : source_(&source),
+      strategy_(strategy),
+      cfg_(cfg),
+      part_(0, cfg.k),
+      shard_counts_(cfg.k, 0),
+      shard_loads_(cfg.k, 0),
+      window_metrics_(cfg.k) {
+  ETHSHARD_CHECK(cfg_.k >= 1);
+  ETHSHARD_CHECK(cfg_.metric_window > 0);
+}
+
 ShardingSimulator::ShardingSimulator(const workload::History& history,
                                      ShardingStrategy& strategy,
                                      SimulatorConfig cfg)
-    : history_(history),
+    : owned_source_(std::make_unique<workload::MaterializedSource>(
+          history.chain, &history.accounts)),
+      source_(owned_source_.get()),
       strategy_(strategy),
       cfg_(cfg),
       part_(0, cfg.k),
@@ -348,6 +365,10 @@ void ShardingSimulator::flush_window(util::Timestamp window_end) {
       tel.moves = ev.moves;
       tel.moved_state_units = ev.moved_state_units;
     }
+    tel.rss_mb =
+        static_cast<double>(util::current_rss_bytes()) / (1024.0 * 1024.0);
+    tel.peak_rss_mb =
+        static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0);
     cfg_.telemetry->write_window(tel);
   }
 }
@@ -467,11 +488,24 @@ void ShardingSimulator::advance_windows() {
   }
 }
 
+void ShardingSimulator::begin_step(util::Timestamp ts) {
+  now_ = ts;
+  if (!started_) {
+    started_ = true;
+    window_start_ = ts;
+    last_repartition_ = ts;
+    window_wall_start_ = std::chrono::steady_clock::now();
+  }
+  advance_windows();
+}
+
 void ShardingSimulator::run_serial() {
-  for (const eth::Block& block : history_.chain.blocks()) {
-    now_ = block.timestamp;
-    advance_windows();
-    for (const eth::Transaction& tx : block.transactions)
+  // next_ref() is zero-copy for a MaterializedSource (it hands out the
+  // chain's own storage), so the History adapter replays exactly as the
+  // old by-reference loop did; streaming sources buffer one block.
+  while (const eth::Block* block = source_->next_ref()) {
+    begin_step(block->timestamp);
+    for (const eth::Transaction& tx : block->transactions)
       process_transaction(tx);
   }
 }
@@ -553,22 +587,44 @@ void ShardingSimulator::apply_window_table(const WindowTable& table) {
 }
 
 void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
-  const auto& blocks = history_.chain.blocks();
-  const std::span<const eth::Block> block_span{blocks.data(),
-                                               blocks.size()};
-  const std::vector<workload::WindowSpan> spans =
-      workload::window_spans(block_span, cfg_.metric_window);
-
   // One aggregator thread feeds this one; replay budget beyond 2 deepens
   // the prefetch queue, letting aggregation run further ahead across
   // cheap windows before a flush-heavy one stalls the consumer.
   util::BoundedQueue<WindowTable> queue(replay_threads);
+  std::uint64_t windows_pushed = 0;  // producer-written, read after join
   std::thread producer([&] {
     try {
       WindowAggregator aggregator;
-      for (const workload::WindowSpan& span : spans) {
-        WindowTable table = aggregator.aggregate(block_span, span);
-        if (!queue.push(std::move(table))) return;  // consumer bailed
+      if (const eth::Chain* chain = source_->materialized_chain()) {
+        // Whole chain in memory: bin it up front and aggregate window
+        // spans in place (no block copies).
+        const auto& blocks = chain->blocks();
+        const std::span<const eth::Block> block_span{blocks.data(),
+                                                     blocks.size()};
+        const std::vector<workload::WindowSpan> spans =
+            workload::window_spans(block_span, cfg_.metric_window);
+        for (const workload::WindowSpan& span : spans) {
+          WindowTable table = aggregator.aggregate(block_span, span);
+          ++windows_pushed;
+          if (!queue.push(std::move(table))) return;  // consumer bailed
+        }
+      } else {
+        // Streaming: pull blocks one at a time, hold only the window
+        // being binned, aggregate each as it completes. The source is
+        // touched exclusively by this thread.
+        workload::WindowBinner binner(cfg_.metric_window);
+        workload::BinnedWindow window;
+        eth::Block block;
+        while (source_->next(block)) {
+          if (binner.push(std::move(block), window)) {
+            ++windows_pushed;
+            if (!queue.push(aggregator.aggregate(window))) return;
+          }
+        }
+        if (binner.finish(window)) {
+          ++windows_pushed;
+          if (!queue.push(aggregator.aggregate(window))) return;
+        }
       }
       queue.close();
     } catch (...) {
@@ -580,8 +636,7 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
     while (std::optional<WindowTable> table = queue.pop()) {
       // The first block of this span is what would have triggered the
       // pending flushes in serial replay; align now_ before advancing.
-      now_ = table->first_block_ts;
-      advance_windows();
+      begin_step(table->first_block_ts);
       apply_window_table(*table);
     }
   } catch (...) {
@@ -590,7 +645,7 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
     throw;
   }
   producer.join();
-  ETHSHARD_OBS_COUNT("sim/pipeline_windows", spans.size());
+  ETHSHARD_OBS_COUNT("sim/pipeline_windows", windows_pushed);
   ETHSHARD_OBS_COUNT("sim/pipeline_prefetch_stalls", queue.pop_waits());
   ETHSHARD_OBS_COUNT("sim/pipeline_backpressure_stalls",
                      queue.push_waits());
@@ -604,13 +659,6 @@ SimulationResult ShardingSimulator::run() {
   result_.strategy_name = strategy_.name();
   result_.k = cfg_.k;
 
-  const auto& blocks = history_.chain.blocks();
-  if (blocks.empty()) return std::move(result_);
-
-  window_start_ = blocks.front().timestamp;
-  last_repartition_ = window_start_;
-  window_wall_start_ = std::chrono::steady_clock::now();
-
   const std::size_t replay_threads = cfg_.replay_threads == 0
                                          ? util::default_thread_count()
                                          : cfg_.replay_threads;
@@ -619,9 +667,17 @@ SimulationResult ShardingSimulator::run() {
   else
     run_serial();
 
+  // Empty stream: no window clock ever started, nothing to flush (the
+  // result keeps its default-constructed aggregates, as before).
+  if (!started_) return std::move(result_);
+
   // Final partial window: its reported end is clamped to just past the
   // last block instead of a full metric_window into silence.
   flush_window(std::min(window_start_ + cfg_.metric_window, now_ + 1));
+
+  ETHSHARD_OBS_GAUGE("sim/peak_rss_mb",
+                     static_cast<double>(util::peak_rss_bytes()) /
+                         (1024.0 * 1024.0));
 
   result_.vertices = part_.size();
   result_.distinct_edges = distinct_edges_;

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "graph/builder.hpp"
 #include "metrics/metrics.hpp"
 #include "partition/types.hpp"
+#include "workload/block_source.hpp"
 #include "workload/generator.hpp"
 
 namespace ethshard::core {
@@ -139,9 +141,24 @@ struct SimulationResult {
 
 class ShardingSimulator {
  public:
-  /// `history` and `strategy` must outlive the simulator.
+  /// Primary form: replays whatever `source` streams. The simulator pulls
+  /// blocks on demand and never materializes the chain, so memory stays
+  /// bounded by one metric window regardless of history length. `source`
+  /// and `strategy` must outlive the simulator; the source must be fresh
+  /// (nothing pulled from it yet) and is exhausted by run().
+  ShardingSimulator(workload::BlockSource& source,
+                    ShardingStrategy& strategy, SimulatorConfig cfg);
+
+  /// Back-compat adapter over a materialized history. The simulator
+  /// *aliases* `history` — it stores a reference and replays the chain
+  /// zero-copy — so `history` (and `strategy`) must outlive the
+  /// simulator; the rvalue overload is deleted to keep a temporary
+  /// History from silently dangling. Bit-identical to streaming the same
+  /// blocks through the primary constructor.
   ShardingSimulator(const workload::History& history,
                     ShardingStrategy& strategy, SimulatorConfig cfg);
+  ShardingSimulator(workload::History&&, ShardingStrategy&,
+                    SimulatorConfig) = delete;
 
   /// Replays the whole history. Call once.
   SimulationResult run();
@@ -158,6 +175,11 @@ class ShardingSimulator {
   /// placements and bulk-applies each table. Bit-identical to run_serial
   /// for strategies that declare supports_batched_replay().
   void run_pipelined(std::size_t replay_threads);
+  /// Lazy window-clock start + per-block window advance: the first
+  /// block/table anchors window_start_ (a streaming source only reveals
+  /// its first timestamp at the first pull); afterwards flushes every
+  /// window completed before now_.
+  void begin_step(util::Timestamp ts);
   /// Flushes every window completed before now_ (including the gap
   /// fast-forward) — the shared per-block / per-table advance loop.
   void advance_windows();
@@ -190,7 +212,11 @@ class ShardingSimulator {
   void verify_incremental_state();
   double current_static_balance() const;
 
-  const workload::History& history_;
+  // History-adapter storage: the History constructor wraps the aliased
+  // chain in an owned MaterializedSource and points source_ at it.
+  // Declared before source_ so initialization order is safe.
+  std::unique_ptr<workload::MaterializedSource> owned_source_;
+  workload::BlockSource* source_;
   ShardingStrategy& strategy_;
   SimulatorConfig cfg_;
 
@@ -247,6 +273,8 @@ class ShardingSimulator {
   util::Timestamp now_ = 0;
   util::Timestamp window_start_ = 0;
   util::Timestamp last_repartition_ = 0;
+  /// Whether the first block has anchored the window clock yet.
+  bool started_ = false;
   /// Wall-clock start of the current window's replay (telemetry).
   std::chrono::steady_clock::time_point window_wall_start_{};
 

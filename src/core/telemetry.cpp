@@ -46,7 +46,9 @@ void TelemetrySink::write_window(const WindowTelemetry& w) {
       << ", \"repartition\": " << (w.repartition ? "true" : "false")
       << ", \"partitioner_ms\": " << fmt_double(w.partitioner_ms)
       << ", \"moves\": " << w.moves
-      << ", \"moved_state_units\": " << w.moved_state_units << "}\n";
+      << ", \"moved_state_units\": " << w.moved_state_units
+      << ", \"rss_mb\": " << fmt_double(w.rss_mb)
+      << ", \"peak_rss_mb\": " << fmt_double(w.peak_rss_mb) << "}\n";
   out.flush();  // one window per multi-hour interval: tail-ability > IO
   ++seq_;
 }

@@ -14,10 +14,13 @@
 //    "interactions": N, "recorded": bool, "dynamic_edge_cut": f,
 //    "dynamic_balance": f, "static_edge_cut": f, "static_balance": f,
 //    "window_wall_ms": f, "repartition": bool, "partitioner_ms": f,
-//    "moves": N, "moved_state_units": N}
+//    "moves": N, "moved_state_units": N, "rss_mb": f, "peak_rss_mb": f}
 // "recorded" mirrors SimulatorConfig::skip_empty_windows — false marks
 // a window that produced no WindowSample (no traffic). "v" is the
-// schema version; consumers should ignore unknown keys.
+// schema version; consumers should ignore unknown keys (rss_mb and
+// peak_rss_mb were appended by the streaming BlockSource work — the
+// resident set at flush time and the process high-water mark, both 0
+// where /proc is unavailable).
 #pragma once
 
 #include <cstdint>
@@ -54,6 +57,12 @@ struct WindowTelemetry {
   double partitioner_ms = 0;
   std::uint64_t moves = 0;
   std::uint64_t moved_state_units = 0;
+  /// Resident set at flush time and the process peak so far, in MiB
+  /// (util/mem.hpp; 0 when the platform offers no probe). The per-window
+  /// resident series is what shows streaming replay holding a flat
+  /// footprint where materialized replay's baseline grows with history.
+  double rss_mb = 0;
+  double peak_rss_mb = 0;
 };
 
 /// Append-only JSONL writer. Thread-safe (a mutex per write); each line

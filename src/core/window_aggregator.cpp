@@ -10,14 +10,29 @@ namespace ethshard::core {
 
 WindowTable WindowAggregator::aggregate(std::span<const eth::Block> blocks,
                                         const workload::WindowSpan& span) {
-  const auto wall_start = std::chrono::steady_clock::now();
   ETHSHARD_CHECK(span.block_begin < span.block_end &&
                  span.block_end <= blocks.size());
+  return aggregate_blocks(
+      blocks.subspan(span.block_begin, span.block_end - span.block_begin),
+      span.window_start);
+}
+
+WindowTable WindowAggregator::aggregate(const workload::BinnedWindow& window) {
+  ETHSHARD_CHECK(!window.blocks.empty());
+  return aggregate_blocks({window.blocks.data(), window.blocks.size()},
+                          window.window_start);
+}
+
+WindowTable WindowAggregator::aggregate_blocks(
+    std::span<const eth::Block> window_blocks,
+    util::Timestamp window_start) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ETHSHARD_CHECK(!window_blocks.empty());
 
   WindowTable table;
-  table.window_start = span.window_start;
-  table.first_block_ts = blocks[span.block_begin].timestamp;
-  table.last_block_ts = blocks[span.block_end - 1].timestamp;
+  table.window_start = window_start;
+  table.first_block_ts = window_blocks.front().timestamp;
+  table.last_block_ts = window_blocks.back().timestamp;
 
   pair_slot_.clear();
   load_slot_.clear();
@@ -30,8 +45,7 @@ WindowTable WindowAggregator::aggregate(std::span<const eth::Block> blocks,
     return table.loads[it->second];
   };
 
-  for (std::uint64_t b = span.block_begin; b < span.block_end; ++b) {
-    const eth::Block& block = blocks[b];
+  for (const eth::Block& block : window_blocks) {
     for (const eth::Transaction& tx : block.transactions) {
       // Involved accounts in first-appearance order — the serial loop's
       // std::find dedup, as O(1) epoch-stamped lookups.

@@ -101,7 +101,14 @@ class WindowAggregator {
   WindowTable aggregate(std::span<const eth::Block> blocks,
                         const workload::WindowSpan& span);
 
+  /// Same, over a WindowBinner-produced window (the streaming path, where
+  /// no whole-chain span exists). Windows must arrive in order here too.
+  WindowTable aggregate(const workload::BinnedWindow& window);
+
  private:
+  WindowTable aggregate_blocks(std::span<const eth::Block> window_blocks,
+                               util::Timestamp window_start);
+
   /// packed (u << 32 | v), canonical u <= v → index into table.pairs.
   std::unordered_map<std::uint64_t, std::uint32_t> pair_slot_;
   /// vertex → index into table.loads.

@@ -1,0 +1,28 @@
+#include "workload/block_source.hpp"
+
+namespace ethshard::workload {
+
+const eth::Block* BlockSource::next_ref() {
+  if (!next(ref_buffer_)) return nullptr;
+  return &ref_buffer_;
+}
+
+MaterializedSource::MaterializedSource(const eth::Chain& chain,
+                                       const eth::AccountRegistry* accounts)
+    : chain_(&chain), accounts_(accounts) {
+  info_.name = "materialized";
+  info_.block_count_hint = chain.size();
+}
+
+bool MaterializedSource::next(eth::Block& out) {
+  if (pos_ >= chain_->size()) return false;
+  out = chain_->blocks()[pos_++];
+  return true;
+}
+
+const eth::Block* MaterializedSource::next_ref() {
+  if (pos_ >= chain_->size()) return nullptr;
+  return &chain_->blocks()[pos_++];
+}
+
+}  // namespace ethshard::workload

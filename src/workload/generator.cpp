@@ -327,6 +327,126 @@ History with_traffic_gap(const History& history, util::Timestamp gap_start,
   return out;
 }
 
+/// The generator's interval loop, unrolled into a resumable pull. State
+/// that generate() used to keep in locals (loop clock, emitted tally,
+/// mempool, nonce map, chain tail for parent links) lives here instead,
+/// so next() can stop at every sealed block and pick up where it left
+/// off. The transaction synthesis order — and with it every RNG draw —
+/// is exactly that of the old loop.
+struct GeneratedSource::Impl {
+  GenState s;
+  SourceInfo info;
+
+  util::Timestamp t;        // interval-loop clock
+  double emitted = 0;       // cumulative interactions (calls) so far
+  std::uint64_t block_number = 0;
+  eth::Hash256 last_hash{};  // parent link for the next sealed block
+
+  eth::Mempool pool;
+  std::unordered_map<AccountId, std::uint64_t> next_nonce;
+
+  explicit Impl(const GeneratorConfig& cfg) : s(cfg), t(cfg.model.genesis) {
+    ETHSHARD_CHECK(cfg.scale > 0.0);
+    ETHSHARD_CHECK(cfg.block_interval > 0);
+    ETHSHARD_CHECK(cfg.model.genesis < cfg.model.end);
+    info.name = "generated";
+    info.seed = cfg.seed;
+    info.scale = cfg.scale;
+
+    // Premine: founding accounts available from the start.
+    const auto premine = std::max<std::uint64_t>(
+        8, static_cast<std::uint64_t>(
+               static_cast<double>(cfg.genesis_accounts) *
+               std::min(1.0, cfg.scale * 100.0)));
+    for (std::uint64_t i = 0; i < premine; ++i)
+      s.new_account(cfg.model.genesis, /*pooled=*/true);
+  }
+
+  /// Stamps number/timestamp/parent link onto `out` and advances the
+  /// chain tail. Never called with empty txs.
+  void seal(eth::Block& out, util::Timestamp time,
+            std::vector<Transaction> txs) {
+    out = eth::Block{};
+    out.number = block_number++;
+    out.timestamp = time;
+    out.parent_hash = last_hash;
+    out.transactions = std::move(txs);
+    last_hash = out.hash();
+  }
+
+  bool next(eth::Block& out) {
+    const GeneratorConfig& cfg = s.cfg;
+    const GrowthModel& model = cfg.model;
+
+    while (t < model.end) {
+      const util::Timestamp block_time =
+          std::min<util::Timestamp>(t + cfg.block_interval, model.end);
+      t += cfg.block_interval;
+
+      const double target =
+          cfg.scale * model.cumulative_interactions(block_time);
+      if (target <= emitted && !(cfg.use_mempool && !pool.empty()))
+        continue;
+
+      const bool attacking = model.in_attack(block_time);
+      std::vector<Transaction> created;
+      while (emitted < target) {
+        Transaction tx =
+            (attacking && s.rng.bernoulli(cfg.attack_fraction))
+                ? make_attack_tx(s, block_time)
+                : make_organic_tx(s, block_time);
+        emitted += static_cast<double>(tx.calls.size());
+        created.push_back(std::move(tx));
+      }
+
+      if (!cfg.use_mempool) {
+        if (created.empty()) continue;
+        seal(out, block_time, std::move(created));
+        return true;
+      }
+
+      // Miner mode: fresh transactions join the pool at their nonce
+      // slot; the block is whatever the fee market fits under the gas
+      // limit.
+      for (Transaction& tx : created) {
+        tx.nonce = next_nonce[tx.sender]++;
+        pool.submit(std::move(tx), block_time);
+      }
+      std::vector<Transaction> packed = pool.pack_block(cfg.block_gas_limit);
+      if (packed.empty()) continue;
+      seal(out, block_time, std::move(packed));
+      return true;
+    }
+
+    // Miner mode: drain the backlog so every created transaction lands.
+    if (cfg.use_mempool && !pool.empty()) {
+      std::vector<Transaction> txs = pool.pack_block(cfg.block_gas_limit);
+      if (!txs.empty()) {  // nothing fits (gas limit below one tx)
+        seal(out, model.end, std::move(txs));
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+GeneratedSource::GeneratedSource(GeneratorConfig cfg)
+    : impl_(std::make_unique<Impl>(cfg)) {}
+
+GeneratedSource::~GeneratedSource() = default;
+
+const SourceInfo& GeneratedSource::info() const { return impl_->info; }
+
+bool GeneratedSource::next(eth::Block& out) { return impl_->next(out); }
+
+const eth::AccountRegistry* GeneratedSource::directory() const {
+  return &impl_->s.registry;
+}
+
+eth::AccountRegistry GeneratedSource::take_directory() {
+  return std::move(impl_->s.registry);
+}
+
 EthereumHistoryGenerator::EthereumHistoryGenerator(GeneratorConfig cfg)
     : cfg_(cfg) {
   ETHSHARD_CHECK(cfg_.scale > 0.0);
@@ -335,77 +455,11 @@ EthereumHistoryGenerator::EthereumHistoryGenerator(GeneratorConfig cfg)
 }
 
 History EthereumHistoryGenerator::generate() {
-  GenState s(cfg_);
-  const GrowthModel& model = cfg_.model;
-
-  // Premine: founding accounts available from the start.
-  const auto premine = std::max<std::uint64_t>(
-      8, static_cast<std::uint64_t>(
-             static_cast<double>(cfg_.genesis_accounts) *
-             std::min(1.0, cfg_.scale * 100.0)));
-  for (std::uint64_t i = 0; i < premine; ++i)
-    s.new_account(model.genesis, /*pooled=*/true);
-
+  GeneratedSource source(cfg_);
   History history;
-  eth::Mempool pool;
-  std::unordered_map<AccountId, std::uint64_t> next_nonce;
-
-  auto append_block = [&](util::Timestamp time,
-                          std::vector<Transaction> txs) {
-    if (txs.empty()) return;
-    eth::Block block;
-    block.number = history.chain.size();
-    block.timestamp = time;
-    if (!history.chain.empty())
-      block.parent_hash = history.chain.block_hash(block.number - 1);
-    block.transactions = std::move(txs);
-    history.chain.append(std::move(block));
-  };
-
-  double emitted = 0;  // cumulative interactions (calls) so far
-
-  for (util::Timestamp t = model.genesis; t < model.end;
-       t += cfg_.block_interval) {
-    const util::Timestamp block_time =
-        std::min<util::Timestamp>(t + cfg_.block_interval, model.end);
-    const double target =
-        cfg_.scale * model.cumulative_interactions(block_time);
-    if (target <= emitted && !(cfg_.use_mempool && !pool.empty()))
-      continue;
-
-    const bool attacking = model.in_attack(block_time);
-    std::vector<Transaction> created;
-    while (emitted < target) {
-      Transaction tx =
-          (attacking && s.rng.bernoulli(cfg_.attack_fraction))
-              ? make_attack_tx(s, block_time)
-              : make_organic_tx(s, block_time);
-      emitted += static_cast<double>(tx.calls.size());
-      created.push_back(std::move(tx));
-    }
-
-    if (!cfg_.use_mempool) {
-      append_block(block_time, std::move(created));
-      continue;
-    }
-
-    // Miner mode: fresh transactions join the pool at their nonce slot;
-    // the block is whatever the fee market fits under the gas limit.
-    for (Transaction& tx : created) {
-      tx.nonce = next_nonce[tx.sender]++;
-      pool.submit(std::move(tx), block_time);
-    }
-    append_block(block_time, pool.pack_block(cfg_.block_gas_limit));
-  }
-
-  // Miner mode: drain the backlog so every created transaction lands.
-  while (cfg_.use_mempool && !pool.empty()) {
-    std::vector<Transaction> txs = pool.pack_block(cfg_.block_gas_limit);
-    if (txs.empty()) break;  // nothing fits (gas limit below one tx)
-    append_block(model.end, std::move(txs));
-  }
-
-  history.accounts = std::move(s.registry);
+  eth::Block block;
+  while (source.next(block)) history.chain.append(std::move(block));
+  history.accounts = source.take_directory();
   return history;
 }
 

@@ -18,12 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "eth/address.hpp"
 #include "eth/chain.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
+#include "workload/block_source.hpp"
 #include "workload/growth_model.hpp"
 
 namespace ethshard::workload {
@@ -122,11 +124,58 @@ HistoryStats stats_of(const History& h);
 History with_traffic_gap(const History& history, util::Timestamp gap_start,
                          util::Timestamp gap_length);
 
+/// Streams the synthetic history block-by-block: the generator's interval
+/// loop, made resumable. Emits exactly the block sequence
+/// EthereumHistoryGenerator::generate() materializes for the same config
+/// (generate() is in fact implemented by draining one of these), so
+/// streamed and materialized replays are bit-identical by construction —
+/// the StreamingDifferential suite holds them together. Memory stays at
+/// one block in flight plus the account registry and attachment pools,
+/// which is what unlocks scales whose full chain would not fit.
+class GeneratedSource final : public BlockSource {
+ public:
+  explicit GeneratedSource(GeneratorConfig cfg = {});
+  ~GeneratedSource() override;
+
+  const SourceInfo& info() const override;
+  bool next(eth::Block& out) override;
+
+  /// The registry grows while streaming; it describes every vertex only
+  /// once next() has returned false.
+  const eth::AccountRegistry* directory() const override;
+
+  /// Moves the completed registry out (History assembly). Call only
+  /// after end-of-stream; the source is dead afterwards.
+  eth::AccountRegistry take_directory();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Re-opens a fresh deterministic GeneratedSource per open() — one
+/// independent replay of the same synthetic history per experiment cell,
+/// none of them ever whole in memory.
+class GeneratedSourceFactory final : public BlockSourceFactory {
+ public:
+  explicit GeneratedSourceFactory(GeneratorConfig cfg) : cfg_(cfg) {}
+
+  std::unique_ptr<BlockSource> open() const override {
+    return std::make_unique<GeneratedSource>(cfg_);
+  }
+
+  const GeneratorConfig& config() const { return cfg_; }
+
+ private:
+  GeneratorConfig cfg_;
+};
+
 class EthereumHistoryGenerator {
  public:
   explicit EthereumHistoryGenerator(GeneratorConfig cfg = {});
 
-  /// Generates the full history [model.genesis, model.end).
+  /// Generates the full history [model.genesis, model.end) by draining a
+  /// GeneratedSource, so the result matches streaming replay exactly.
   History generate();
 
   const GeneratorConfig& config() const { return cfg_; }

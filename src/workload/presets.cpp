@@ -27,11 +27,10 @@ Preset preset_from_name(const std::string& name) {
   return Preset::kPaper;
 }
 
-GeneratorConfig preset_config(Preset preset, double scale,
-                              std::uint64_t seed) {
+GeneratorConfig preset_config(Preset preset, PresetOptions options) {
   GeneratorConfig cfg;
-  cfg.scale = scale;
-  cfg.seed = seed;
+  cfg.scale = options.scale;
+  cfg.seed = options.seed;
 
   switch (preset) {
     case Preset::kPaper:

@@ -34,8 +34,16 @@ std::string preset_name(Preset preset);
 /// unknown name.
 Preset preset_from_name(const std::string& name);
 
-/// Generator configuration for a preset at the given scale/seed.
-GeneratorConfig preset_config(Preset preset, double scale = 0.002,
-                              std::uint64_t seed = 1234);
+/// Knobs shared by every preset. Aggregate-initialize with designated
+/// initializers — `preset_config(Preset::kPaper, {.scale = 0.01})` —
+/// instead of remembering positional double/uint64 order.
+struct PresetOptions {
+  /// Fraction of the real chain's volume (GeneratorConfig::scale).
+  double scale = 0.002;
+  std::uint64_t seed = 1234;
+};
+
+/// Generator configuration for a preset with the given options.
+GeneratorConfig preset_config(Preset preset, PresetOptions options = {});
 
 }  // namespace ethshard::workload

@@ -85,42 +85,62 @@ void write_trace(std::ostream& out, const History& history) {
   }
 }
 
-History read_trace(std::istream& in) {
-  util::CsvReader reader(in);
+/// Streaming trace parser: CSV rows in, whole blocks out, registry
+/// accumulated on the side. Holds one block plus a one-row lookahead
+/// (the row that revealed the block boundary) — never the row set.
+struct TraceSource::Impl {
+  std::ifstream owned_file;  // backing storage for the path constructor
+  util::CsvReader reader;
+  SourceInfo source_info;
+
   std::vector<std::string> fields;
+  Row pending{};          // lookahead row that opened the next block
+  bool have_pending = false;
 
-  // Header.
-  ETHSHARD_CHECK_MSG(reader.read_row(fields), "empty trace");
-  ETHSHARD_CHECK_MSG(fields.size() == 8 && fields[0] == "block",
-                     "unrecognized trace header");
+  std::uint64_t blocks_emitted = 0;
+  util::Timestamp last_block_ts = 0;
+  eth::Hash256 last_hash{};  // parent link for the next sealed block
+  bool done = false;
 
-  std::vector<Row> rows;
-  while (reader.read_row(fields)) {
-    ETHSHARD_CHECK_MSG(fields.size() == 8,
-                       "trace row with " << fields.size() << " fields");
-    Row r;
-    r.block = parse_u64(fields[0]);
-    r.timestamp = static_cast<util::Timestamp>(parse_u64(fields[1]));
-    r.tx_index = parse_u64(fields[2]);
-    r.call_index = parse_u64(fields[3]);
-    r.from = parse_u64(fields[4]);
-    r.to = parse_u64(fields[5]);
-    r.kind = kind_from_code(fields[6]);
-    r.value = parse_u64(fields[7]);
-    rows.push_back(r);
+  // Vertex universe, discovered row by row. Kinds are only final at
+  // end-of-stream (a late X/C row can turn any id into a contract), so
+  // the registry is built in finalize(). Unseen ids below max_id default
+  // to externally-owned with the first row's timestamp — exactly
+  // read_trace's vector initialization.
+  std::vector<bool> is_contract;
+  std::vector<bool> seen;
+  std::vector<util::Timestamp> first_seen;
+  util::Timestamp first_row_ts = 0;
+  bool any_row = false;
+  eth::AccountRegistry registry;
+
+  explicit Impl(std::istream& in) : reader(in) { init(); }
+
+  explicit Impl(const std::string& path)
+      : owned_file(path), reader(owned_file) {
+    ETHSHARD_CHECK_MSG(owned_file.good(), "cannot open " << path);
+    init();
   }
 
-  // Pass 1: vertex universe — ids, kinds, first appearance.
-  std::uint64_t max_id = 0;
-  for (const Row& r : rows) max_id = std::max({max_id, r.from, r.to});
+  void init() {
+    source_info.name = "trace";
+    // Header.
+    ETHSHARD_CHECK_MSG(reader.read_row(fields), "empty trace");
+    ETHSHARD_CHECK_MSG(fields.size() == 8 && fields[0] == "block",
+                       "unrecognized trace header");
+  }
 
-  History history;
-  if (rows.empty()) return history;
-
-  std::vector<bool> is_contract(max_id + 1, false);
-  std::vector<util::Timestamp> first_seen(max_id + 1, rows.front().timestamp);
-  std::vector<bool> seen(max_id + 1, false);
-  for (const Row& r : rows) {
+  void note_row(const Row& r) {
+    if (!any_row) {
+      any_row = true;
+      first_row_ts = r.timestamp;
+    }
+    const std::uint64_t max_id = std::max(r.from, r.to);
+    if (max_id >= seen.size()) {
+      is_contract.resize(max_id + 1, false);
+      seen.resize(max_id + 1, false);
+      first_seen.resize(max_id + 1, 0);
+    }
     if (r.kind != eth::CallKind::kTransfer) is_contract[r.to] = true;
     for (const eth::AccountId id : {r.from, r.to}) {
       if (!seen[id]) {
@@ -129,50 +149,116 @@ History read_trace(std::istream& in) {
       }
     }
   }
-  for (std::uint64_t id = 0; id <= max_id; ++id) {
-    history.accounts.create(is_contract[id] ? eth::AccountKind::kContract
-                                            : eth::AccountKind::kExternallyOwned,
-                            first_seen[id]);
+
+  /// Next row from the lookahead slot or the file; false at EOF.
+  bool fetch_row(Row& r) {
+    if (have_pending) {
+      r = pending;
+      have_pending = false;
+      return true;
+    }
+    if (!reader.read_row(fields)) return false;
+    ETHSHARD_CHECK_MSG(fields.size() == 8,
+                       "trace row with " << fields.size() << " fields");
+    r.block = parse_u64(fields[0]);
+    r.timestamp = static_cast<util::Timestamp>(parse_u64(fields[1]));
+    r.tx_index = parse_u64(fields[2]);
+    r.call_index = parse_u64(fields[3]);
+    r.from = parse_u64(fields[4]);
+    r.to = parse_u64(fields[5]);
+    r.kind = kind_from_code(fields[6]);
+    r.value = parse_u64(fields[7]);
+    note_row(r);
+    return true;
   }
 
-  // Pass 2: rebuild blocks and transactions (rows must be in order).
+  /// Builds the registry once every row has been scanned.
+  void finalize() {
+    done = true;
+    for (std::uint64_t id = 0; id < seen.size(); ++id) {
+      registry.create(is_contract[id] ? eth::AccountKind::kContract
+                                      : eth::AccountKind::kExternallyOwned,
+                      seen[id] ? first_seen[id] : first_row_ts);
+    }
+  }
+
+  bool next(eth::Block& out) {
+    if (done) return false;
+
+    eth::Block block;
+    bool block_open = false;
+    Row r;
+    while (fetch_row(r)) {
+      if (!block_open) {
+        ETHSHARD_CHECK_MSG(r.block == blocks_emitted,
+                           "non-consecutive block numbers in trace");
+        block.number = r.block;
+        block.timestamp = r.timestamp;
+        ETHSHARD_CHECK_MSG(blocks_emitted == 0 ||
+                               block.timestamp >= last_block_ts,
+                           "timestamp regression at block " << r.block);
+        block_open = true;
+      } else if (r.block != block.number) {
+        ETHSHARD_CHECK_MSG(r.block > block.number,
+                           "trace rows out of block order");
+        pending = r;  // first row of the next block
+        have_pending = true;
+        break;
+      }
+      ETHSHARD_CHECK_MSG(r.timestamp == block.timestamp,
+                         "inconsistent timestamp within block " << r.block);
+      if (r.tx_index == block.transactions.size()) {
+        eth::Transaction tx;
+        tx.sender = r.from;
+        block.transactions.push_back(std::move(tx));
+      }
+      ETHSHARD_CHECK_MSG(r.tx_index + 1 == block.transactions.size(),
+                         "trace rows out of transaction order");
+      eth::Transaction& tx = block.transactions.back();
+      ETHSHARD_CHECK_MSG(r.call_index == tx.calls.size(),
+                         "trace rows out of call order");
+      tx.calls.push_back(eth::Call{r.from, r.to, r.kind, r.value});
+    }
+
+    if (!block_open) {
+      finalize();
+      return false;
+    }
+    block.parent_hash = last_hash;
+    last_hash = block.hash();
+    last_block_ts = block.timestamp;
+    ++blocks_emitted;
+    out = std::move(block);
+    return true;
+  }
+};
+
+TraceSource::TraceSource(std::istream& in)
+    : impl_(std::make_unique<Impl>(in)) {}
+
+TraceSource::TraceSource(const std::string& path)
+    : impl_(std::make_unique<Impl>(path)) {}
+
+TraceSource::~TraceSource() = default;
+
+const SourceInfo& TraceSource::info() const { return impl_->source_info; }
+
+bool TraceSource::next(eth::Block& out) { return impl_->next(out); }
+
+const eth::AccountRegistry* TraceSource::directory() const {
+  return impl_->done ? &impl_->registry : nullptr;
+}
+
+eth::AccountRegistry TraceSource::take_directory() {
+  return std::move(impl_->registry);
+}
+
+History read_trace(std::istream& in) {
+  TraceSource source(in);
+  History history;
   eth::Block block;
-  bool block_open = false;
-
-  auto seal_block = [&] {
-    if (!block_open) return;
-    if (!history.chain.empty())
-      block.parent_hash = history.chain.block_hash(block.number - 1);
-    history.chain.append(std::move(block));
-    block = eth::Block{};
-  };
-
-  for (const Row& r : rows) {
-    if (!block_open || r.block != block.number) {
-      ETHSHARD_CHECK_MSG(!block_open || r.block > block.number,
-                         "trace rows out of block order");
-      seal_block();
-      ETHSHARD_CHECK_MSG(r.block == history.chain.size(),
-                         "non-consecutive block numbers in trace");
-      block.number = r.block;
-      block.timestamp = r.timestamp;
-      block_open = true;
-    }
-    ETHSHARD_CHECK_MSG(r.timestamp == block.timestamp,
-                       "inconsistent timestamp within block " << r.block);
-    if (r.tx_index == block.transactions.size()) {
-      eth::Transaction tx;
-      tx.sender = r.from;
-      block.transactions.push_back(std::move(tx));
-    }
-    ETHSHARD_CHECK_MSG(r.tx_index + 1 == block.transactions.size(),
-                       "trace rows out of transaction order");
-    eth::Transaction& tx = block.transactions.back();
-    ETHSHARD_CHECK_MSG(r.call_index == tx.calls.size(),
-                       "trace rows out of call order");
-    tx.calls.push_back(eth::Call{r.from, r.to, r.kind, r.value});
-  }
-  seal_block();
+  while (source.next(block)) history.chain.append(std::move(block));
+  history.accounts = source.take_directory();
   return history;
 }
 

@@ -13,14 +13,65 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "workload/block_source.hpp"
 #include "workload/generator.hpp"
 
 namespace ethshard::workload {
 
 /// Writes the full history as CSV (with a header row).
 void write_trace(std::ostream& out, const History& history);
+
+/// Streams a trace file block-by-block: rows are parsed incrementally
+/// (one-row lookahead to detect block boundaries), so only the block
+/// being assembled is resident — a trace much larger than memory replays
+/// fine. Emits exactly the blocks read_trace() would materialize
+/// (read_trace is implemented by draining one of these). The account
+/// registry is accumulated row-by-row (any C/X target is a contract,
+/// first_seen at first appearance) and becomes available through
+/// directory() once next() has returned false. Throws
+/// util::CheckFailure on malformed input, at the pull that hits it.
+class TraceSource final : public BlockSource {
+ public:
+  /// Borrowed stream; must outlive the source.
+  explicit TraceSource(std::istream& in);
+  /// Opens (and owns) the file at `path`.
+  explicit TraceSource(const std::string& path);
+  ~TraceSource() override;
+
+  const SourceInfo& info() const override;
+  bool next(eth::Block& out) override;
+
+  /// Null until end-of-stream — account kinds are only known once every
+  /// row has been scanned.
+  const eth::AccountRegistry* directory() const override;
+
+  /// Moves the completed registry out (History assembly). Call only
+  /// after end-of-stream; the source is dead afterwards.
+  eth::AccountRegistry take_directory();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Re-opens the trace file per open(): each experiment cell streams its
+/// own pass over the file instead of sharing one materialized History.
+class TraceSourceFactory final : public BlockSourceFactory {
+ public:
+  explicit TraceSourceFactory(std::string path) : path_(std::move(path)) {}
+
+  std::unique_ptr<BlockSource> open() const override {
+    return std::make_unique<TraceSource>(path_);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 /// Parses a trace written by write_trace (or hand-assembled in the same
 /// format). Reconstructs blocks (hash-linked), transactions and the

@@ -30,4 +30,39 @@ std::vector<WindowSpan> window_spans(std::span<const eth::Block> blocks,
   return spans;
 }
 
+WindowBinner::WindowBinner(util::Timestamp width) : width_(width) {
+  ETHSHARD_CHECK(width_ > 0);
+}
+
+bool WindowBinner::push(eth::Block block, BinnedWindow& completed) {
+  const util::Timestamp ts = block.timestamp;
+  ETHSHARD_CHECK_MSG(!any_ || ts >= last_ts_,
+                     "WindowBinner requires time-sorted blocks");
+  bool emitted = false;
+  if (!any_) {
+    any_ = true;
+    origin_ = ts;
+    start_ = ts;
+  } else if (ts >= start_ + width_) {
+    completed.window_start = start_;
+    completed.blocks = std::move(current_);
+    current_.clear();
+    // Jump straight to the bin this block falls into — empty bins emit
+    // nothing, exactly like window_spans.
+    start_ = origin_ + ((ts - origin_) / width_) * width_;
+    emitted = true;
+  }
+  last_ts_ = ts;
+  current_.push_back(std::move(block));
+  return emitted;
+}
+
+bool WindowBinner::finish(BinnedWindow& completed) {
+  if (current_.empty()) return false;
+  completed.window_start = start_;
+  completed.blocks = std::move(current_);
+  current_.clear();
+  return true;
+}
+
 }  // namespace ethshard::workload

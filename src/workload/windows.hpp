@@ -36,4 +36,41 @@ struct WindowSpan {
 std::vector<WindowSpan> window_spans(std::span<const eth::Block> blocks,
                                      util::Timestamp width);
 
+/// One completed window from a WindowBinner: the bin's start timestamp
+/// plus the blocks that fell into it (owned, in arrival order).
+struct BinnedWindow {
+  util::Timestamp window_start = 0;
+  std::vector<eth::Block> blocks;
+};
+
+/// Incremental window_spans for pull-based block streams (BlockSource):
+/// push blocks in time order and whole non-empty windows come out, binned
+/// exactly as window_spans would bin them (same first-block anchor, same
+/// empty-bin skipping) — the StreamingDifferential suite holds the two to
+/// each other. Only the window currently accumulating is held in memory,
+/// which is what keeps the pipelined replay's Stage A within a
+/// one-window footprint when no materialized chain exists.
+class WindowBinner {
+ public:
+  explicit WindowBinner(util::Timestamp width);
+
+  /// Feeds the next block (timestamps must be non-decreasing). Returns
+  /// true when this block closed the previously accumulating window,
+  /// which is then moved into `completed` (its old contents replaced).
+  bool push(eth::Block block, BinnedWindow& completed);
+
+  /// End-of-stream flush: moves the trailing partial window into
+  /// `completed` and returns true, or returns false when no blocks are
+  /// pending. The binner is exhausted afterwards; feed a new one.
+  bool finish(BinnedWindow& completed);
+
+ private:
+  util::Timestamp width_;
+  util::Timestamp origin_ = 0;  // first block's timestamp (bin anchor)
+  util::Timestamp start_ = 0;   // current bin's start
+  util::Timestamp last_ts_ = 0;
+  bool any_ = false;
+  std::vector<eth::Block> current_;
+};
+
 }  // namespace ethshard::workload

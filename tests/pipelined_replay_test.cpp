@@ -87,8 +87,13 @@ std::string blank_field(std::string text, const std::string& key) {
 }
 
 std::string normalized_telemetry(const std::string& jsonl) {
-  return blank_field(blank_field(jsonl, "window_wall_ms"),
-                     "partitioner_ms");
+  // rss_mb/peak_rss_mb are process-level measurements like the wall
+  // clocks: legitimate run-to-run differences, blanked the same way.
+  return blank_field(
+      blank_field(blank_field(blank_field(jsonl, "window_wall_ms"),
+                              "partitioner_ms"),
+                  "rss_mb"),
+      "peak_rss_mb");
 }
 
 // Every SimulationResult field except wall-clock timings, compared

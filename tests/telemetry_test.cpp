@@ -125,7 +125,8 @@ TEST(Telemetry, EveryLineParsesWithFixedKeyOrder) {
       "static_edge_cut",  "static_balance",
       "window_wall_ms",   "repartition",
       "partitioner_ms",   "moves",
-      "moved_state_units"};
+      "moved_state_units", "rss_mb",
+      "peak_rss_mb"};
   for (std::size_t i = 0; i < run.lines.size(); ++i) {
     const auto kv = parse_line(run.lines[i]);
     ASSERT_EQ(kv.size(), want_keys.size()) << run.lines[i];

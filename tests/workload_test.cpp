@@ -535,9 +535,9 @@ TEST_F(GeneratedHistoryTest, ActivityIsHighlyUnequal) {
 
 TEST(WorkloadAnalysis, UniformPresetIsMoreEqual) {
   const History hubby = EthereumHistoryGenerator(
-      preset_config(Preset::kPaper, 0.001, 13)).generate();
+      preset_config(Preset::kPaper, {.scale = 0.001, .seed = 13})).generate();
   const History flat = EthereumHistoryGenerator(
-      preset_config(Preset::kUniform, 0.001, 13)).generate();
+      preset_config(Preset::kUniform, {.scale = 0.001, .seed = 13})).generate();
   EXPECT_LT(analyze_workload(flat).activity_gini,
             analyze_workload(hubby).activity_gini);
 }
@@ -559,9 +559,9 @@ TEST(Presets, NamesRoundTrip) {
 
 TEST(Presets, NoAttackRemovesDummyWave) {
   const History attack = EthereumHistoryGenerator(
-      preset_config(Preset::kPaper, 0.001, 9)).generate();
+      preset_config(Preset::kPaper, {.scale = 0.001, .seed = 9})).generate();
   const History clean = EthereumHistoryGenerator(
-      preset_config(Preset::kNoAttack, 0.001, 9)).generate();
+      preset_config(Preset::kNoAttack, {.scale = 0.001, .seed = 9})).generate();
 
   auto attack_accounts = [](const History& h) {
     std::uint64_t n = 0;
@@ -578,7 +578,7 @@ TEST(Presets, NoAttackRemovesDummyWave) {
 
 TEST(Presets, TransfersOnlyHasNoContracts) {
   const History h = EthereumHistoryGenerator(
-      preset_config(Preset::kTransfersOnly, 0.0005, 9)).generate();
+      preset_config(Preset::kTransfersOnly, {.scale = 0.0005, .seed = 9})).generate();
   EXPECT_EQ(h.accounts.contract_count(), 0u);
   for (const eth::Block& b : h.chain.blocks())
     for (const eth::Transaction& tx : b.transactions)
@@ -605,9 +605,9 @@ TEST(Presets, UniformKillsHubs) {
            (total / static_cast<double>(degree.size()));
   };
   const History hubby = EthereumHistoryGenerator(
-      preset_config(Preset::kPaper, 0.001, 9)).generate();
+      preset_config(Preset::kPaper, {.scale = 0.001, .seed = 9})).generate();
   const History flat = EthereumHistoryGenerator(
-      preset_config(Preset::kUniform, 0.001, 9)).generate();
+      preset_config(Preset::kUniform, {.scale = 0.001, .seed = 9})).generate();
   EXPECT_LT(max_over_mean_degree(flat), max_over_mean_degree(hubby));
 }
 
@@ -619,9 +619,9 @@ TEST(Presets, IcoFrenzyMintsMoreIcos) {
     return n;
   };
   const History normal = EthereumHistoryGenerator(
-      preset_config(Preset::kPaper, 0.001, 9)).generate();
+      preset_config(Preset::kPaper, {.scale = 0.001, .seed = 9})).generate();
   const History frenzy = EthereumHistoryGenerator(
-      preset_config(Preset::kIcoFrenzy, 0.001, 9)).generate();
+      preset_config(Preset::kIcoFrenzy, {.scale = 0.001, .seed = 9})).generate();
   EXPECT_GT(ico_count(frenzy), ico_count(normal));
 }
 

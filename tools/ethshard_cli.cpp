@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/experiment.hpp"
@@ -40,7 +41,9 @@
 #include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/mem.hpp"
 #include "workload/analysis.hpp"
+#include "workload/block_source.hpp"
 #include "workload/generator.hpp"
 #include "workload/import.hpp"
 #include "workload/presets.hpp"
@@ -57,54 +60,73 @@ int usage() {
       "\n"
       "commands:\n"
       "  generate   synthesize a history and write it as a CSV trace\n"
-      "             --scale F (0.002)  --seed N (1234)  --out PATH\n"
-      "             --preset NAME (paper|no-attack|ico-frenzy|uniform|\n"
-      "                            transfers-only)\n"
       "  stats      history totals and monthly growth (Fig. 1 data)\n"
-      "             --trace PATH | --scale/--seed\n"
       "  simulate   replay against a sharding method (Figs. 3-5 data)\n"
-      "             --method SPEC (Hashing|KL|METIS|R-METIS|TR-METIS|DSM;\n"
-      "                            P-METIS = R-METIS; tunable, e.g.\n"
-      "                            'tr-metis:cut_floor=0.25,min_gap_days=2')\n"
-      "             --shards K (2)  [--csv PATH  per-window samples]\n"
-      "             [--telemetry-out PATH  streaming JSONL, one record\n"
-      "                                    per window as the replay runs]\n"
       "  partition  one-shot partition of the final graph, all methods\n"
-      "             --shards K (2)  [--method NAME  single method]\n"
-      "  dot        Graphviz subgraph export (Fig. 2 style)\n"
-      "             --from YYYY-MM-DD --to YYYY-MM-DD  --max-nodes N (20)\n"
-      "  import     convert a BigQuery crypto_ethereum.traces CSV export\n"
-      "             into the native trace format\n"
-      "             --traces PATH --out PATH\n"
-      "  metis-export  write the final graph in METIS .graph format\n"
-      "             --out PATH   (then: gpmetis PATH <k>)\n"
-      "  metis-eval evaluate a METIS .part file on our metrics\n"
-      "             --part PATH --shards K\n"
       "  compare    the full method x shard-count grid in one table\n"
-      "             --shards LIST (2,4,8)  [--gas  gas-based load]\n"
+      "  dot        Graphviz subgraph export (Fig. 2 style)\n"
+      "  import     convert a BigQuery crypto_ethereum.traces CSV export\n"
+      "             into the native trace format (--traces PATH --out PATH)\n"
+      "  metis-export  write the final graph in METIS .graph format\n"
+      "             (--out PATH; then: gpmetis PATH <k>)\n"
+      "  metis-eval evaluate a METIS .part file on our metrics\n"
+      "             (--part PATH --shards K)\n"
       "\n"
-      "observability (any command):\n"
-      "  --metrics-out PATH   enable metrics; write counters/gauges/timers/\n"
-      "                       histograms on exit — JSON, or CSV when PATH\n"
-      "                       ends in .csv\n"
-      "  --trace-out PATH     enable tracing; write Chrome trace-event\n"
-      "                       JSON (chrome://tracing, Perfetto) on exit\n"
+      "workload (what to replay; any command):\n"
+      "  --trace PATH         read a CSV trace (see workload/trace_io.hpp)\n"
+      "                       instead of generating in-process\n"
+      "  --preset NAME        generator scenario: paper (default),\n"
+      "                       no-attack, ico-frenzy, uniform, transfers-only\n"
+      "  --scale F            fraction of the real chain's volume (0.002)\n"
+      "  --seed N             generator seed (1234); also the strategy\n"
+      "                       seed for simulate/compare (default 7 there)\n"
+      "  --max-scale F        clamp --scale to F (a guard for scripted\n"
+      "                       sweeps; 0 = no clamp)\n"
+      "  --stream             simulate/compare only: pull blocks from the\n"
+      "                       generator or trace file on demand instead of\n"
+      "                       materializing the whole history first —\n"
+      "                       same results, memory stays ~one window\n"
       "\n"
-      "parallelism (any command):\n"
+      "strategy (simulate/partition/compare):\n"
+      "  --method SPEC        Hashing|KL|METIS|R-METIS|TR-METIS|DSM\n"
+      "                       (P-METIS = R-METIS; tunable, e.g.\n"
+      "                       'tr-metis:cut_floor=0.25,min_gap_days=2');\n"
+      "                       partition takes a one-shot partitioner name\n"
+      "  --shards K|LIST      shard count (2); compare takes a list (2,4,8)\n"
+      "  --gas                compare only: gas-based load model\n"
+      "\n"
+      "replay (simulate, and per-cell for compare):\n"
       "  --threads N          thread budget: mt-MLKP partitioner threads\n"
       "                       for simulate/partition, grid workers for\n"
       "                       compare (whose partitioners auto-fit the\n"
       "                       leftover budget). 0 (default) = serial\n"
       "                       partitioner / hardware-sized grid. Results\n"
       "                       never depend on N (mt-MLKP determinism)\n"
-      "  --replay-threads N   window-replay pipelining for simulate and\n"
-      "                       (per cell, budget-capped) compare:\n"
-      "                       0 (default) = hardware, 1 = serial per-call\n"
-      "                       replay, >=2 = a background worker aggregates\n"
-      "                       window W+1 while W is applied (N-2 extra\n"
-      "                       prefetch-queue slots). Bit-identical results\n"
-      "                       at every N; the spec key 'replay_threads='\n"
-      "                       overrides the flag\n");
+      "  --replay-threads N   window-replay pipelining: 0 (default) =\n"
+      "                       hardware, 1 = serial per-call replay, >=2 =\n"
+      "                       a background worker aggregates window W+1\n"
+      "                       while W is applied (N-2 extra prefetch-queue\n"
+      "                       slots). Bit-identical results at every N;\n"
+      "                       the spec key 'replay_threads=' overrides\n"
+      "  --max-rss-mb N       fail (exit 1) if peak resident memory\n"
+      "                       exceeds N MiB — pair with --stream to keep\n"
+      "                       large-scale replays inside a budget\n"
+      "\n"
+      "output:\n"
+      "  --out PATH           generate/import/metis-export destination\n"
+      "  --csv PATH           simulate: per-window samples\n"
+      "  --events-csv PATH    simulate: repartition events\n"
+      "  --telemetry-out PATH simulate: streaming JSONL, one record per\n"
+      "                       window as the replay runs (incl. rss_mb)\n"
+      "  --from/--to DATE     dot: window bounds (YYYY-MM-DD)\n"
+      "  --max-nodes N        dot: subgraph size cap (20)\n"
+      "\n"
+      "observability (any command):\n"
+      "  --metrics-out PATH   enable metrics; write counters/gauges/timers/\n"
+      "                       histograms on exit — JSON, or CSV when PATH\n"
+      "                       ends in .csv\n"
+      "  --trace-out PATH     enable tracing; write Chrome trace-event\n"
+      "                       JSON (chrome://tracing, Perfetto) on exit\n");
   return 2;
 }
 
@@ -117,18 +139,48 @@ util::Timestamp parse_date(const std::string& s) {
   return util::make_timestamp(y, m, d);
 }
 
+/// Generator configuration from --preset/--scale/--seed, with --max-scale
+/// applied as a clamp (a guard for scripted sweeps: a fat-fingered scale
+/// cannot silently launch a machine-sized run).
+workload::GeneratorConfig generator_config(const util::ArgParser& args) {
+  const workload::Preset preset =
+      workload::preset_from_name(args.get("preset", "paper"));
+  double scale = args.get_double("scale", 0.002);
+  const double max_scale = args.get_double("max-scale", 0.0);
+  if (max_scale > 0.0 && scale > max_scale) {
+    std::fprintf(stderr,
+                 "[ethshard] clamping --scale %g to --max-scale %g\n",
+                 scale, max_scale);
+    scale = max_scale;
+  }
+  return workload::preset_config(
+      preset, {.scale = scale, .seed = args.get_uint("seed", 1234)});
+}
+
 workload::History load_history(const util::ArgParser& args) {
   const std::string trace = args.get("trace", "");
   if (!trace.empty()) return workload::read_trace_file(trace);
-  const workload::Preset preset =
-      workload::preset_from_name(args.get("preset", "paper"));
-  const workload::GeneratorConfig cfg = workload::preset_config(
-      preset, args.get_double("scale", 0.002), args.get_uint("seed", 1234));
+  const workload::GeneratorConfig cfg = generator_config(args);
   std::fprintf(stderr, "[ethshard] generating synthetic history "
                        "preset=%s scale=%g seed=%llu\n",
-               workload::preset_name(preset).c_str(), cfg.scale,
+               args.get("preset", "paper").c_str(), cfg.scale,
                static_cast<unsigned long long>(cfg.seed));
   return workload::EthereumHistoryGenerator(cfg).generate();
+}
+
+/// The --stream path's workload: a re-openable source over --trace or the
+/// in-process generator — nothing is materialized up front.
+std::unique_ptr<workload::BlockSourceFactory> make_source_factory(
+    const util::ArgParser& args) {
+  const std::string trace = args.get("trace", "");
+  if (!trace.empty())
+    return std::make_unique<workload::TraceSourceFactory>(trace);
+  const workload::GeneratorConfig cfg = generator_config(args);
+  std::fprintf(stderr, "[ethshard] streaming synthetic history "
+                       "preset=%s scale=%g seed=%llu\n",
+               args.get("preset", "paper").c_str(), cfg.scale,
+               static_cast<unsigned long long>(cfg.seed));
+  return std::make_unique<workload::GeneratedSourceFactory>(cfg);
 }
 
 int cmd_generate(const util::ArgParser& args) {
@@ -237,7 +289,17 @@ int cmd_stats(const util::ArgParser& args) {
 }
 
 int cmd_simulate(const util::ArgParser& args) {
-  const workload::History history = load_history(args);
+  // --stream replays through a pull-based BlockSource (generator or
+  // trace file) and never materializes the chain; otherwise the whole
+  // history is loaded first, exactly as before. Results are
+  // bit-identical across the two paths.
+  const bool stream = args.get_bool("stream", false);
+  std::unique_ptr<workload::BlockSource> source;
+  std::optional<workload::History> history;
+  if (stream)
+    source = make_source_factory(args)->open();
+  else
+    history.emplace(load_history(args));
   const auto k = static_cast<std::uint32_t>(args.get_uint("shards", 2));
 
   // --method takes a registry spec: a bare name ("R-METIS", or the
@@ -265,8 +327,12 @@ int cmd_simulate(const util::ArgParser& args) {
     telemetry = core::TelemetrySink::open(telemetry_path);
     cfg.telemetry = telemetry.get();
   }
-  core::ShardingSimulator sim(history, *strategy, cfg);
-  const core::SimulationResult r = sim.run();
+  std::optional<core::ShardingSimulator> sim;
+  if (stream)
+    sim.emplace(*source, *strategy, cfg);
+  else
+    sim.emplace(*history, *strategy, cfg);
+  const core::SimulationResult r = sim->run();
   if (telemetry)
     std::printf("telemetry         -> %s (%llu windows)\n",
                 telemetry_path.c_str(),
@@ -294,6 +360,9 @@ int cmd_simulate(const util::ArgParser& args) {
               static_cast<unsigned long long>(r.total_moves));
   std::printf("moved state units %llu\n",
               static_cast<unsigned long long>(r.total_moved_state_units));
+  std::printf("peak rss mb       %.1f\n",
+              static_cast<double>(util::peak_rss_bytes()) /
+                  (1024.0 * 1024.0));
 
   const std::string csv_path = args.get("csv", "");
   if (!csv_path.empty()) {
@@ -451,7 +520,16 @@ int cmd_metis_eval(const util::ArgParser& args) {
 }
 
 int cmd_compare(const util::ArgParser& args) {
-  const workload::History history = load_history(args);
+  // --stream: every grid cell opens its own pull-based stream (the
+  // factory re-generates or re-reads the trace per cell) instead of all
+  // cells sharing one materialized History. Same results.
+  const bool stream = args.get_bool("stream", false);
+  std::unique_ptr<workload::BlockSourceFactory> sources;
+  std::optional<workload::History> history;
+  if (stream)
+    sources = make_source_factory(args);
+  else
+    history.emplace(load_history(args));
   core::ExperimentConfig cfg;
   cfg.seed = args.get_uint("seed", 7);
   if (args.get_bool("gas", false)) cfg.load_model = core::LoadModel::kGas;
@@ -473,7 +551,8 @@ int cmd_compare(const util::ArgParser& args) {
         static_cast<std::uint32_t>(std::stoul(token)));
   ETHSHARD_CHECK_MSG(!cfg.shard_counts.empty(), "empty --shards list");
 
-  const auto runs = core::run_experiment(history, cfg);
+  const auto runs = stream ? core::run_experiment(*sources, cfg)
+                           : core::run_experiment(*history, cfg);
   std::fputs(core::comparison_table(runs).c_str(), stdout);
   std::printf("\nspeedup = modelled throughput vs an unsharded node "
               "(cross-shard interaction costs 3x).\n");
@@ -571,6 +650,26 @@ int main(int argc, char** argv) {
       obs::write_trace_json_file(trace_out,
                                  obs::TraceBuffer::global().snapshot());
       std::fprintf(stderr, "[ethshard] trace -> %s\n", trace_out.c_str());
+    }
+    // --max-rss-mb: a memory budget over the whole command. Checked
+    // against the kernel's process high-water mark, so nothing the run
+    // did can hide from it; a breach is an error exit, which is what
+    // lets CI assert "streaming stays under X where materialized
+    // doesn't".
+    const std::uint64_t max_rss_mb = args.get_uint("max-rss-mb", 0);
+    if (max_rss_mb > 0) {
+      const double peak_mb =
+          static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0);
+      if (peak_mb > static_cast<double>(max_rss_mb)) {
+        std::fprintf(stderr,
+                     "[ethshard] error: peak rss %.1f MiB exceeded "
+                     "--max-rss-mb %llu\n",
+                     peak_mb, static_cast<unsigned long long>(max_rss_mb));
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "[ethshard] peak rss %.1f MiB within --max-rss-mb %llu\n",
+                   peak_mb, static_cast<unsigned long long>(max_rss_mb));
     }
     for (const std::string& flag : args.unused())
       std::fprintf(stderr, "[ethshard] warning: unused flag --%s\n",

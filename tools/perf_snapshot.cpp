@@ -16,11 +16,13 @@
 //   {"schema_version": 1, "stamp": "...", "threads": N,
 //    "scale": F, "seed": N, "entries": [
 //      {"name": "...", "reps": N, "threads": N, "wall_ms": F,
-//       "p50_ms": F, "p99_ms": F}, ...]}
+//       "p50_ms": F, "p99_ms": F, "peak_rss_mb": F}, ...]}
 // The per-entry "threads" records the thread knob that bench ran with
-// (partitioner threads for mlkp_*, replay threads for simulate_*); the
-// checker's field scanner ignores keys it does not know, so baselines
-// without it stay valid.
+// (partitioner threads for mlkp_*, replay threads for simulate_*);
+// "peak_rss_mb" is the resident high-water mark over that bench's reps
+// (util::reset_peak_rss before each bench; 0 when the platform cannot
+// measure it). The checker's field scanner ignores keys it does not
+// know, so baselines without them stay valid.
 // Baseline schema (v1): entries carry "name", "wall_ms" and an optional
 // "tolerance" ratio (default 2.5: fail when snapshot wall_ms exceeds
 // 2.5x the baseline).
@@ -45,6 +47,7 @@
 #include "partition/parallel_match.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
+#include "util/mem.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +64,7 @@ struct BenchResult {
   double wall_ms = 0;       // median of the reps
   double p50_ms = 0;
   double p99_ms = 0;
+  double peak_rss_mb = 0;   // resident high-water mark over the reps
 };
 
 double quantile_of(std::vector<double> sorted, double q) {
@@ -73,6 +77,9 @@ double quantile_of(std::vector<double> sorted, double q) {
 
 BenchResult run_bench(const std::string& name, int reps, std::size_t threads,
                       const std::function<void()>& body) {
+  // Bracket this bench's memory: the high-water mark read afterwards
+  // covers only these reps, not whatever a previous bench allocated.
+  util::reset_peak_rss();
   std::vector<double> samples;
   samples.reserve(reps);
   for (int r = 0; r < reps; ++r) {
@@ -89,9 +96,13 @@ BenchResult run_bench(const std::string& name, int reps, std::size_t threads,
   res.wall_ms = quantile_of(samples, 0.5);
   res.p50_ms = res.wall_ms;
   res.p99_ms = quantile_of(samples, 0.99);
+  res.peak_rss_mb =
+      static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0);
   std::fprintf(stderr,
-               "[perf] %-28s %4d reps %2zu thr  p50 %10.3f ms  p99 %10.3f ms\n",
-               name.c_str(), reps, threads, res.p50_ms, res.p99_ms);
+               "[perf] %-28s %4d reps %2zu thr  p50 %10.3f ms  p99 %10.3f ms"
+               "  peak %7.1f MiB\n",
+               name.c_str(), reps, threads, res.p50_ms, res.p99_ms,
+               res.peak_rss_mb);
   return res;
 }
 
@@ -216,6 +227,36 @@ int cmd_run(const util::ArgParser& args) {
   results.push_back(run_bench("simulate_longgap", reps, auto_replay, [&] {
     bench::simulate(gap_history, core::Method::kHashing, 4, seed);
   }));
+  // Streaming cell: the same hashing workload, but the simulator pulls
+  // blocks straight off a GeneratedSource instead of a materialized
+  // History — one pass that pays generation inline (so wall time is
+  // roughly simulate_hashing plus the generate() cost the other cells
+  // pay outside their timed region), with the peak_rss_mb column
+  // showing the whole-history copy it avoids.
+  results.push_back(run_bench("simulate_streaming", reps, auto_replay, [&] {
+    workload::GeneratorConfig cfg;
+    cfg.scale = scale;
+    cfg.seed = seed;
+    workload::GeneratedSource source(cfg);
+    const auto strategy = core::make_strategy(core::Method::kHashing, seed);
+    core::SimulatorConfig sim_cfg;
+    sim_cfg.k = 4;
+    core::ShardingSimulator sim(source, *strategy, sim_cfg);
+    sim.run();
+  }));
+  // Pure generation at 10x scale, drained block-by-block without ever
+  // holding more than one block: bounds the generator's own footprint
+  // (registry + mempool) separately from any simulator state.
+  results.push_back(run_bench("generate_streaming_large", reps, 1, [&] {
+    workload::GeneratorConfig cfg;
+    cfg.scale = scale * 10;
+    cfg.seed = seed;
+    workload::GeneratedSource source(cfg);
+    eth::Block block;
+    std::uint64_t txs = 0;
+    while (source.next(block)) txs += block.transactions.size();
+    ETHSHARD_CHECK(txs > 0);
+  }));
   results.push_back(run_bench("obs_histogram_record", reps, 1, [&] {
     obs::Histogram h;
     for (int i = 0; i < 1000000; ++i)
@@ -241,7 +282,8 @@ int cmd_run(const util::ArgParser& args) {
         << ", \"threads\": " << r.threads
         << ", \"wall_ms\": " << fmt(r.wall_ms)
         << ", \"p50_ms\": " << fmt(r.p50_ms)
-        << ", \"p99_ms\": " << fmt(r.p99_ms) << "}"
+        << ", \"p99_ms\": " << fmt(r.p99_ms)
+        << ", \"peak_rss_mb\": " << fmt(r.peak_rss_mb) << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
