@@ -347,7 +347,7 @@ void ShardingSimulator::flush_window(util::Timestamp window_end) {
   const bool repartitioned = maybe_repartition(snapshot);
   window_wall_start_ = std::chrono::steady_clock::now();
 
-  if (cfg_.telemetry != nullptr) {
+  if (cfg_.telemetry != nullptr || cfg_.consumer != nullptr) {
     WindowTelemetry tel;
     tel.window_start = sample.window_start;
     tel.window_end = sample.window_end;
@@ -369,7 +369,8 @@ void ShardingSimulator::flush_window(util::Timestamp window_end) {
         static_cast<double>(util::current_rss_bytes()) / (1024.0 * 1024.0);
     tel.peak_rss_mb =
         static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0);
-    cfg_.telemetry->write_window(tel);
+    if (cfg_.telemetry != nullptr) cfg_.telemetry->write_window(tel);
+    if (cfg_.consumer != nullptr) cfg_.consumer->on_window(tel);
   }
 }
 
@@ -463,7 +464,8 @@ void ShardingSimulator::advance_windows() {
     // allows — they would produce no sample and a guaranteed-false
     // should_repartition, so the result is identical.
     if (cfg_.fast_forward_gaps && cfg_.skip_empty_windows &&
-        cfg_.telemetry == nullptr && window_metrics_.empty()) {
+        cfg_.telemetry == nullptr && cfg_.consumer == nullptr &&
+        window_metrics_.empty()) {
       const util::Timestamp width = cfg_.metric_window;
       const auto pending =
           static_cast<std::uint64_t>((now_ - window_start_) / width);

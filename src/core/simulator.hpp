@@ -52,11 +52,16 @@ struct SimulatorConfig {
   /// record per evaluation window as it completes (see core/telemetry.hpp
   /// for the schema). Not owned; must outlive the simulator.
   TelemetrySink* telemetry = nullptr;
+  /// Optional in-process consumer of the same per-window records the
+  /// sink serializes (invariant evaluation, live dashboards). Called on
+  /// the flush thread, after the sink's write when both are set. Not
+  /// owned; must outlive the simulator.
+  TelemetryConsumer* consumer = nullptr;
   /// Skip long runs of empty windows in one step instead of flushing them
   /// one at a time, when the strategy declares (no_repartition_before)
   /// that quiet windows cannot trigger it. Only engages when
-  /// skip_empty_windows is set and no telemetry sink is attached, so the
-  /// observable output is identical either way.
+  /// skip_empty_windows is set and no telemetry sink or consumer is
+  /// attached, so the observable output is identical either way.
   bool fast_forward_gaps = true;
   /// Debug cross-check: at every window flush, recompute the static cut
   /// from scratch and compare with the incrementally maintained count

@@ -65,9 +65,24 @@ struct WindowTelemetry {
   double peak_rss_mb = 0;
 };
 
+/// In-process consumer of the per-window telemetry stream. Where
+/// TelemetrySink serializes records to JSONL for external tools, a
+/// TelemetryConsumer sees the same WindowTelemetry structs live, in
+/// window order, on the simulator's flush thread — the hook the scenario
+/// invariants harness (src/scenario) evaluates against without ever
+/// materializing the window history. Implementations must not block:
+/// on_window sits on the replay path.
+class TelemetryConsumer {
+ public:
+  virtual ~TelemetryConsumer() = default;
+  virtual void on_window(const WindowTelemetry& w) = 0;
+};
+
 /// Append-only JSONL writer. Thread-safe (a mutex per write); each line
-/// is flushed so external tails see windows as they complete.
-class TelemetrySink {
+/// is flushed so external tails see windows as they complete. Doubles as
+/// a TelemetryConsumer so sinks and in-process evaluators compose
+/// through one interface.
+class TelemetrySink : public TelemetryConsumer {
  public:
   /// Streams to `out`, which must outlive the sink.
   explicit TelemetrySink(std::ostream& out);
@@ -77,6 +92,7 @@ class TelemetrySink {
 
   /// Writes one JSONL record; assigns the next sequence number.
   void write_window(const WindowTelemetry& w);
+  void on_window(const WindowTelemetry& w) override { write_window(w); }
 
   std::uint64_t records_written() const;
 

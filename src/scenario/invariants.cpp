@@ -1,0 +1,404 @@
+#include "scenario/invariants.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ethshard::scenario {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+class BalanceInvariant final : public Invariant {
+ public:
+  BalanceInvariant(double max_balance, std::uint64_t min_interactions)
+      : max_(max_balance), min_interactions_(min_interactions) {}
+
+  void on_window(const core::WindowTelemetry& w) override {
+    if (!w.recorded || w.interactions == 0) return;
+    if (w.interactions < min_interactions_) return;
+    if (w.dynamic_balance > worst_) {
+      worst_ = w.dynamic_balance;
+      worst_window_ = static_cast<std::int64_t>(w.window_start);
+    }
+  }
+
+  InvariantVerdict verdict() const override {
+    InvariantVerdict v;
+    v.kind = "balance";
+    v.name = "dynamic_balance <= " + fmt(max_) + " (windows with >= " +
+             std::to_string(min_interactions_) + " calls)";
+    v.observed = worst_;
+    v.threshold = max_;
+    v.window_start = worst_window_;
+    v.pass = worst_ <= max_;
+    if (!v.pass)
+      v.detail = "dynamic balance " + fmt(worst_) + " exceeded " +
+                 fmt(max_) + " in the window starting at " +
+                 std::to_string(worst_window_);
+    return v;
+  }
+
+ private:
+  double max_;
+  std::uint64_t min_interactions_;
+  double worst_ = 0;  // balance >= 1 on any traffic window
+  std::int64_t worst_window_ = -1;
+};
+
+class ChurnInvariant final : public Invariant {
+ public:
+  explicit ChurnInvariant(double max_fraction) : max_(max_fraction) {}
+
+  void on_window(const core::WindowTelemetry& w) override {
+    window_moves_ += w.moves;
+  }
+
+  void on_run_end(const core::SimulationResult& r) override {
+    ended_ = true;
+    total_moves_ = r.total_moves;
+    vertices_ = r.vertices;
+  }
+
+  InvariantVerdict verdict() const override {
+    InvariantVerdict v;
+    v.kind = "churn";
+    v.name = "total_moves <= " + fmt(max_) + " * vertices";
+    v.threshold = max_;
+    if (!ended_) {
+      v.pass = false;
+      v.detail = "run ended without a final result";
+      return v;
+    }
+    const double denom =
+        vertices_ == 0 ? 1.0 : static_cast<double>(vertices_);
+    v.observed = static_cast<double>(total_moves_) / denom;
+    v.pass = v.observed <= max_;
+    if (!v.pass)
+      v.detail = std::to_string(total_moves_) + " moves over " +
+                 std::to_string(vertices_) + " vertices (" +
+                 fmt(v.observed) + " > " + fmt(max_) + ")";
+    return v;
+  }
+
+ private:
+  double max_;
+  std::uint64_t window_moves_ = 0;
+  std::uint64_t total_moves_ = 0;
+  std::uint64_t vertices_ = 0;
+  bool ended_ = false;
+};
+
+class RepartitionTimeInvariant final : public Invariant {
+ public:
+  explicit RepartitionTimeInvariant(double max_ms) : max_(max_ms) {}
+
+  void on_window(const core::WindowTelemetry& w) override {
+    if (!w.repartition) return;
+    ++repartitions_;
+    if (w.partitioner_ms > worst_) {
+      worst_ = w.partitioner_ms;
+      worst_window_ = static_cast<std::int64_t>(w.window_start);
+    }
+  }
+
+  InvariantVerdict verdict() const override {
+    InvariantVerdict v;
+    v.kind = "repartition_time";
+    v.name = "partitioner_ms <= " + fmt(max_);
+    v.observed = worst_;
+    v.threshold = max_;
+    v.window_start = worst_window_;
+    v.pass = worst_ <= max_;
+    if (!v.pass)
+      v.detail = "repartition took " + fmt(worst_) +
+                 " ms (bound " + fmt(max_) + " ms) at window " +
+                 std::to_string(worst_window_);
+    return v;
+  }
+
+ private:
+  double max_;
+  double worst_ = 0;
+  std::uint64_t repartitions_ = 0;
+  std::int64_t worst_window_ = -1;
+};
+
+// The sink serializes doubles with %.6f (core/telemetry.cpp), so a
+// golden value carries at most 5e-7 rounding error; anything past 1e-6
+// is genuine drift, not serialization noise.
+constexpr double kGoldenTolerance = 1.0e-6;
+
+class DriftInvariant final : public Invariant {
+ public:
+  DriftInvariant(const std::string& golden_jsonl, std::string label)
+      : label_(std::move(label)) {
+    std::stringstream ss(golden_jsonl);
+    std::string line;
+    while (std::getline(ss, line)) {
+      if (line.empty()) continue;
+      golden_.push_back(parse_telemetry_line(line));
+    }
+  }
+
+  void on_window(const core::WindowTelemetry& w) override {
+    const std::uint64_t i = seen_++;
+    if (!detail_.empty()) return;  // first divergence wins
+    if (i >= golden_.size()) {
+      fail(w.window_start, "stream has more windows than the golden (" +
+                               std::to_string(golden_.size()) + ")");
+      return;
+    }
+    const core::WindowTelemetry& g = golden_[i];
+    check_exact(w, "window_start", w.window_start, g.window_start);
+    check_exact(w, "window_end", w.window_end, g.window_end);
+    check_exact(w, "interactions", w.interactions, g.interactions);
+    check_exact(w, "recorded", static_cast<std::uint64_t>(w.recorded),
+                static_cast<std::uint64_t>(g.recorded));
+    check_exact(w, "repartition",
+                static_cast<std::uint64_t>(w.repartition),
+                static_cast<std::uint64_t>(g.repartition));
+    check_exact(w, "moves", w.moves, g.moves);
+    check_exact(w, "moved_state_units", w.moved_state_units,
+                g.moved_state_units);
+    check_close(w, "dynamic_edge_cut", w.dynamic_edge_cut,
+                g.dynamic_edge_cut);
+    check_close(w, "dynamic_balance", w.dynamic_balance, g.dynamic_balance);
+    check_close(w, "static_edge_cut", w.static_edge_cut, g.static_edge_cut);
+    check_close(w, "static_balance", w.static_balance, g.static_balance);
+  }
+
+  void on_run_end(const core::SimulationResult&) override {
+    if (detail_.empty() && seen_ != golden_.size())
+      detail_ = "stream ended after " + std::to_string(seen_) +
+                " windows; golden has " + std::to_string(golden_.size());
+  }
+
+  InvariantVerdict verdict() const override {
+    InvariantVerdict v;
+    v.kind = "drift";
+    v.name = "telemetry matches golden " + label_;
+    v.observed = worst_deviation_;
+    v.threshold = kGoldenTolerance;
+    v.window_start = fail_window_;
+    v.pass = detail_.empty();
+    v.detail = detail_;
+    return v;
+  }
+
+ private:
+  void fail(std::uint64_t window_start, const std::string& why) {
+    if (!detail_.empty()) return;
+    fail_window_ = static_cast<std::int64_t>(window_start);
+    detail_ = why;
+  }
+
+  void check_exact(const core::WindowTelemetry& w, const char* field,
+                   std::uint64_t got, std::uint64_t want) {
+    if (got == want) return;
+    fail(w.window_start, std::string(field) + " drifted: got " +
+                             std::to_string(got) + ", golden " +
+                             std::to_string(want) + " (window " +
+                             std::to_string(w.window_start) + ")");
+  }
+
+  void check_close(const core::WindowTelemetry& w, const char* field,
+                   double got, double want) {
+    const double dev = std::abs(got - want);
+    if (dev > worst_deviation_) worst_deviation_ = dev;
+    if (dev <= kGoldenTolerance) return;
+    fail(w.window_start, std::string(field) + " drifted: got " + fmt(got) +
+                             ", golden " + fmt(want) + " (|Δ| " +
+                             fmt(dev) + " > " + fmt(kGoldenTolerance) +
+                             ", window " + std::to_string(w.window_start) +
+                             ")");
+  }
+
+  std::string label_;
+  std::vector<core::WindowTelemetry> golden_;
+  std::uint64_t seen_ = 0;
+  double worst_deviation_ = 0;
+  std::int64_t fail_window_ = -1;
+  std::string detail_;
+};
+
+class SanityInvariant final : public Invariant {
+ public:
+  explicit SanityInvariant(bool expect_full_stream)
+      : expect_full_stream_(expect_full_stream) {}
+
+  void on_window(const core::WindowTelemetry& w) override {
+    ++windows_;
+    interaction_sum_ += w.interactions;
+    move_sum_ += w.moves;
+    check(w, w.window_end > w.window_start, "window_end <= window_start");
+    check(w, !have_prev_ || w.window_start >= prev_end_,
+          "window overlaps its predecessor (clock went backwards)");
+    check(w, w.dynamic_edge_cut >= 0.0 && w.dynamic_edge_cut <= 1.0,
+          "dynamic_edge_cut outside [0,1]");
+    check(w, w.static_edge_cut >= 0.0 && w.static_edge_cut <= 1.0,
+          "static_edge_cut outside [0,1]");
+    // Eq. 2 balance is max over mean — >= 1 whenever any load exists.
+    check(w, w.interactions == 0 || w.dynamic_balance >= 1.0 - 1e-9,
+          "dynamic_balance below 1 on a traffic window");
+    check(w, w.static_balance >= 1.0 - 1e-9, "static_balance below 1");
+    check(w, w.window_wall_ms >= 0.0, "negative window_wall_ms");
+    check(w, w.partitioner_ms >= 0.0, "negative partitioner_ms");
+    check(w, w.repartition || (w.moves == 0 && w.moved_state_units == 0 &&
+                               w.partitioner_ms == 0.0),
+          "moves/cost reported without a repartition");
+    check(w, w.moved_state_units >= w.moves,
+          "moved_state_units below moves (each move carries >= 1 unit)");
+    check(w, w.recorded || w.interactions == 0,
+          "unrecorded window claims interactions");
+    prev_end_ = w.window_end;
+    have_prev_ = true;
+  }
+
+  void on_run_end(const core::SimulationResult& r) override {
+    ended_ = true;
+    if (expect_full_stream_) {
+      // Every executed call lands in exactly one window, so the stream's
+      // interaction sum must reproduce the run total (cut <= total calls
+      // is then implied by the per-window [0,1] fraction checks).
+      if (interaction_sum_ != r.interactions)
+        record_failure(-1, "window interactions sum to " +
+                               std::to_string(interaction_sum_) +
+                               " but the run executed " +
+                               std::to_string(r.interactions));
+      if (move_sum_ > r.total_moves)
+        record_failure(-1, "window moves sum to " +
+                               std::to_string(move_sum_) +
+                               " exceeding the run total " +
+                               std::to_string(r.total_moves));
+    }
+    if (r.executed_cross_shard_fraction < 0.0 ||
+        r.executed_cross_shard_fraction > 1.0)
+      record_failure(-1, "executed_cross_shard_fraction outside [0,1]");
+  }
+
+  InvariantVerdict verdict() const override {
+    InvariantVerdict v;
+    v.kind = "sanity";
+    v.name = "window stream well-formed";
+    v.observed = static_cast<double>(violations_);
+    v.threshold = 0;
+    v.window_start = fail_window_;
+    v.pass = violations_ == 0 && ended_;
+    v.detail = detail_;
+    if (!ended_ && v.detail.empty())
+      v.detail = "run ended without a final result";
+    return v;
+  }
+
+ private:
+  void check(const core::WindowTelemetry& w, bool ok, const char* why) {
+    if (ok) return;
+    record_failure(static_cast<std::int64_t>(w.window_start), why);
+  }
+
+  void record_failure(std::int64_t window, const std::string& why) {
+    ++violations_;
+    if (!detail_.empty()) return;  // keep the first, count the rest
+    fail_window_ = window;
+    detail_ = why;
+    if (window >= 0) detail_ += " (window " + std::to_string(window) + ")";
+  }
+
+  bool expect_full_stream_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t interaction_sum_ = 0;
+  std::uint64_t move_sum_ = 0;
+  std::uint64_t prev_end_ = 0;
+  bool have_prev_ = false;
+  bool ended_ = false;
+  std::uint64_t violations_ = 0;
+  std::int64_t fail_window_ = -1;
+  std::string detail_;
+};
+
+}  // namespace
+
+std::unique_ptr<Invariant> make_balance_invariant(
+    double max_balance, std::uint64_t min_interactions) {
+  return std::make_unique<BalanceInvariant>(max_balance, min_interactions);
+}
+
+std::unique_ptr<Invariant> make_churn_invariant(double max_fraction) {
+  return std::make_unique<ChurnInvariant>(max_fraction);
+}
+
+std::unique_ptr<Invariant> make_repartition_time_invariant(double max_ms) {
+  return std::make_unique<RepartitionTimeInvariant>(max_ms);
+}
+
+std::unique_ptr<Invariant> make_drift_invariant(
+    const std::string& golden_jsonl, const std::string& golden_label) {
+  return std::make_unique<DriftInvariant>(golden_jsonl, golden_label);
+}
+
+std::unique_ptr<Invariant> make_sanity_invariant(bool expect_full_stream) {
+  return std::make_unique<SanityInvariant>(expect_full_stream);
+}
+
+core::WindowTelemetry parse_telemetry_line(const std::string& line) {
+  // The sink's schema is flat with string-free values, so a positional
+  // key scan is a full parser for it. Numbers parse with strtod; bools
+  // match the literal tokens.
+  auto find_value = [&line](const char* key) -> std::string {
+    const std::string needle = std::string("\"") + key + "\": ";
+    const std::size_t at = line.find(needle);
+    ETHSHARD_CHECK_MSG(at != std::string::npos,
+                       "telemetry line lacks \"" << key << "\": " << line);
+    std::size_t i = at + needle.size();
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+      ++end;
+    return line.substr(i, end - i);
+  };
+  auto num = [&](const char* key) -> double {
+    const std::string v = find_value(key);
+    char* end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    ETHSHARD_CHECK_MSG(end != v.c_str() && *end == '\0',
+                       "telemetry field " << key << " is not a number: '"
+                                          << v << "'");
+    return d;
+  };
+  auto boolean = [&](const char* key) -> bool {
+    const std::string v = find_value(key);
+    if (v == "true") return true;
+    if (v == "false") return false;
+    ETHSHARD_CHECK_MSG(false, "telemetry field " << key
+                                                 << " is not a bool: '"
+                                                 << v << "'");
+    return false;
+  };
+
+  core::WindowTelemetry w;
+  w.window_start = static_cast<std::uint64_t>(num("window_start"));
+  w.window_end = static_cast<std::uint64_t>(num("window_end"));
+  w.interactions = static_cast<std::uint64_t>(num("interactions"));
+  w.recorded = boolean("recorded");
+  w.dynamic_edge_cut = num("dynamic_edge_cut");
+  w.dynamic_balance = num("dynamic_balance");
+  w.static_edge_cut = num("static_edge_cut");
+  w.static_balance = num("static_balance");
+  w.window_wall_ms = num("window_wall_ms");
+  w.repartition = boolean("repartition");
+  w.partitioner_ms = num("partitioner_ms");
+  w.moves = static_cast<std::uint64_t>(num("moves"));
+  w.moved_state_units = static_cast<std::uint64_t>(num("moved_state_units"));
+  w.rss_mb = num("rss_mb");
+  w.peak_rss_mb = num("peak_rss_mb");
+  return w;
+}
+
+}  // namespace ethshard::scenario

@@ -1,0 +1,127 @@
+// Machine-checked invariants over the per-window telemetry stream.
+//
+// Each invariant watches the simulator's WindowTelemetry records as they
+// flush (core::TelemetryConsumer — nothing is materialized) plus the
+// final SimulationResult, and renders a verdict: pass/fail, the worst
+// value observed, the threshold it was held to, and the window where the
+// worst case happened — the RFC-0006 "invariants harness" shape
+// (SNIPPETS.md §3). The InvariantSet fans one telemetry stream out to
+// all of a run's invariants; runner.cpp builds the set a Scenario's
+// thresholds ask for.
+//
+// The five kinds:
+//   balance           recorded traffic windows keep dynamic_balance <=
+//                     threshold (Eq. 2 — the METIS dormant-account
+//                     pitfall trips exactly this)
+//   churn             total moves (repartition + online) <= threshold x
+//                     final vertex count — bounded reshuffling under
+//                     churn
+//   repartition_time  every repartition's wall-clock compute cost stays
+//                     under the threshold in ms
+//   drift             the telemetry stream matches a committed golden
+//                     JSONL record-for-record (integers exactly, doubles
+//                     to golden precision) — no silent metric drift
+//   sanity            the stream is well-formed: monotone non-overlapping
+//                     window clock, cuts in [0,1], balances >= 1,
+//                     non-negative loads/costs, moves only at
+//                     repartitions, window interactions summing to the
+//                     run total
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "core/telemetry.hpp"
+
+namespace ethshard::scenario {
+
+/// One invariant's outcome, ready for the JSON report.
+struct InvariantVerdict {
+  std::string kind;   ///< "balance", "churn", "repartition_time", ...
+  std::string name;   ///< human label including the threshold
+  bool pass = true;
+  double observed = 0;   ///< worst value seen (kind-specific meaning)
+  double threshold = 0;
+  /// First/worst violation description; empty on pass.
+  std::string detail;
+  /// window_start of the worst-case window, -1 when not applicable.
+  std::int64_t window_start = -1;
+};
+
+/// Streaming evaluator: fed every window in order, then the final
+/// result, then asked for its verdict.
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+  virtual void on_window(const core::WindowTelemetry& w) = 0;
+  virtual void on_run_end(const core::SimulationResult& r) { (void)r; }
+  virtual InvariantVerdict verdict() const = 0;
+};
+
+/// dynamic_balance <= max_balance on every recorded window carrying at
+/// least `min_interactions` calls. The floor keeps the bound meaningful:
+/// a near-empty window trivially lands its one call on one shard, which
+/// saturates Eq. 2 at k without saying anything about the partitioning
+/// (the pitfalls show up under *load*, not in the quiet tail).
+std::unique_ptr<Invariant> make_balance_invariant(
+    double max_balance, std::uint64_t min_interactions = 1);
+
+/// result.total_moves <= max_fraction * result.vertices.
+std::unique_ptr<Invariant> make_churn_invariant(double max_fraction);
+
+/// partitioner_ms <= max_ms at every repartition.
+std::unique_ptr<Invariant> make_repartition_time_invariant(double max_ms);
+
+/// Stream must match `golden_jsonl` (TelemetrySink lines) record for
+/// record: integer/bool fields exactly, double fields to the sink's
+/// serialized precision (wall-clock and rss fields ignored — they are
+/// measurements, not results). `golden_label` names the source in
+/// verdict details. Throws util::CheckFailure on unparsable golden text.
+std::unique_ptr<Invariant> make_drift_invariant(
+    const std::string& golden_jsonl, const std::string& golden_label);
+
+/// Well-formedness of the stream itself; `expect_full_stream` enables
+/// the run-end interaction-sum cross-check (valid only when every window
+/// was observed, i.e. the consumer was attached for the whole run).
+std::unique_ptr<Invariant> make_sanity_invariant(
+    bool expect_full_stream = true);
+
+/// Fans one telemetry stream out to a run's invariants and collects
+/// their verdicts. Non-owning users attach it as SimulatorConfig::consumer.
+class InvariantSet final : public core::TelemetryConsumer {
+ public:
+  void add(std::unique_ptr<Invariant> inv) {
+    invariants_.push_back(std::move(inv));
+  }
+  bool empty() const { return invariants_.empty(); }
+  std::size_t size() const { return invariants_.size(); }
+  std::uint64_t windows_seen() const { return windows_seen_; }
+
+  void on_window(const core::WindowTelemetry& w) override {
+    ++windows_seen_;
+    for (auto& inv : invariants_) inv->on_window(w);
+  }
+  void on_run_end(const core::SimulationResult& r) {
+    for (auto& inv : invariants_) inv->on_run_end(r);
+  }
+  std::vector<InvariantVerdict> verdicts() const {
+    std::vector<InvariantVerdict> out;
+    out.reserve(invariants_.size());
+    for (const auto& inv : invariants_) out.push_back(inv->verdict());
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Invariant>> invariants_;
+  std::uint64_t windows_seen_ = 0;
+};
+
+/// Parses one TelemetrySink JSONL line back into a WindowTelemetry (the
+/// drift invariant's golden reader; also used by tests). Throws
+/// util::CheckFailure when a schema field is missing or malformed.
+core::WindowTelemetry parse_telemetry_line(const std::string& line);
+
+}  // namespace ethshard::scenario

@@ -1,0 +1,120 @@
+#include "scenario/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace ethshard::scenario {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+void write_verdict(const InvariantVerdict& v, std::ostream& out,
+                   const char* indent) {
+  out << indent << "{\"kind\": \"" << json_escape(v.kind) << "\", \"name\": \""
+      << json_escape(v.name) << "\", \"pass\": " << bool_str(v.pass)
+      << ", \"observed\": " << fmt_double(v.observed)
+      << ", \"threshold\": " << fmt_double(v.threshold)
+      << ", \"window_start\": " << v.window_start << ", \"detail\": \""
+      << json_escape(v.detail) << "\"}";
+}
+
+}  // namespace
+
+void write_report_json(const Report& report, std::ostream& out) {
+  std::uint64_t runs = 0;
+  std::uint64_t invariants = 0;
+  std::uint64_t violations = 0;
+  std::set<std::string> kinds;
+  for (const auto& s : report.scenarios) {
+    runs += s.runs.size();
+    for (const auto& r : s.runs) {
+      invariants += r.invariants.size();
+      for (const auto& v : r.invariants) {
+        kinds.insert(v.kind);
+        if (!v.pass) ++violations;
+      }
+    }
+  }
+
+  out << "{\n";
+  out << "  \"schema_version\": " << kReportSchemaVersion << ",\n";
+  out << "  \"pass\": " << bool_str(report.pass()) << ",\n";
+  out << "  \"totals\": {\"scenarios\": " << report.scenarios.size()
+      << ", \"strategy_runs\": " << runs << ", \"invariants\": " << invariants
+      << ", \"violations\": " << violations << ", \"invariant_kinds\": [";
+  bool first = true;
+  for (const auto& k : kinds) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << json_escape(k) << '"';
+  }
+  out << "]},\n";
+  out << "  \"scenarios\": [";
+  for (std::size_t i = 0; i < report.scenarios.size(); ++i) {
+    const auto& s = report.scenarios[i];
+    out << (i ? ",\n" : "\n");
+    out << "    {\"name\": \"" << json_escape(s.name) << "\", \"file\": \""
+        << json_escape(s.file) << "\", \"description\": \""
+        << json_escape(s.description) << "\", \"pass\": " << bool_str(s.pass())
+        << ",\n";
+    out << "     \"runs\": [";
+    for (std::size_t j = 0; j < s.runs.size(); ++j) {
+      const auto& r = s.runs[j];
+      out << (j ? ",\n" : "\n");
+      out << "       {\"strategy\": \"" << json_escape(r.strategy)
+          << "\", \"pass\": " << bool_str(r.pass())
+          << ", \"windows\": " << r.windows
+          << ", \"interactions\": " << r.interactions
+          << ", \"total_moves\": " << r.total_moves
+          << ", \"wall_ms\": " << fmt_double(r.wall_ms) << ",\n";
+      out << "        \"invariants\": [";
+      for (std::size_t m = 0; m < r.invariants.size(); ++m) {
+        out << (m ? ",\n" : "\n");
+        write_verdict(r.invariants[m], out, "          ");
+      }
+      out << (r.invariants.empty() ? "]" : "\n        ]") << "}";
+    }
+    out << (s.runs.empty() ? "]" : "\n     ]") << "}";
+  }
+  out << (report.scenarios.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+std::string report_json(const Report& report) {
+  std::ostringstream ss;
+  write_report_json(report, ss);
+  return ss.str();
+}
+
+}  // namespace ethshard::scenario

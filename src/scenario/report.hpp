@@ -1,0 +1,84 @@
+// The CI-parsable verdict: one schema-versioned JSON document per
+// runner invocation.
+//
+// The report is the machine contract between the scenario harness and
+// whatever gates on it (ctest scripts via cmake's string(JSON), the CI
+// workflow via jq). Schema, version 1:
+//
+//   {"schema_version": 1,
+//    "pass": bool,                       // AND over every strategy run
+//    "totals": {"scenarios": N, "strategy_runs": N, "invariants": N,
+//               "violations": N,
+//               "invariant_kinds": ["balance", ...]},   // sorted, distinct
+//    "scenarios": [
+//      {"name": s, "file": s, "description": s, "pass": bool,
+//       "runs": [
+//         {"strategy": s, "pass": bool, "windows": N, "interactions": N,
+//          "total_moves": N, "wall_ms": f,
+//          "invariants": [
+//            {"kind": s, "name": s, "pass": bool, "observed": f,
+//             "threshold": f, "window_start": n, "detail": s}, ...]},
+//        ...]},
+//     ...]}
+//
+// Consumers must ignore unknown keys; additions bump nothing, renames
+// and removals bump schema_version.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/invariants.hpp"
+
+namespace ethshard::scenario {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// One (scenario, strategy spec) replay and its invariant verdicts.
+struct StrategyRunReport {
+  std::string strategy;  ///< the registry spec string, verbatim
+  std::uint64_t windows = 0;       ///< telemetry windows observed
+  std::uint64_t interactions = 0;  ///< replayed interactions
+  std::uint64_t total_moves = 0;
+  double wall_ms = 0;  ///< wall-clock of the whole replay
+  std::vector<InvariantVerdict> invariants;
+
+  bool pass() const {
+    for (const auto& v : invariants)
+      if (!v.pass) return false;
+    return true;
+  }
+};
+
+/// One scenario's runs across every strategy spec it lists.
+struct ScenarioReport {
+  std::string name;
+  std::string file;
+  std::string description;
+  std::vector<StrategyRunReport> runs;
+
+  bool pass() const {
+    for (const auto& r : runs)
+      if (!r.pass()) return false;
+    return true;
+  }
+};
+
+/// The whole matrix.
+struct Report {
+  std::vector<ScenarioReport> scenarios;
+
+  bool pass() const {
+    for (const auto& s : scenarios)
+      if (!s.pass()) return false;
+    return true;
+  }
+};
+
+/// Serializes the schema above (pretty-printed, stable key order).
+void write_report_json(const Report& report, std::ostream& out);
+std::string report_json(const Report& report);
+
+}  // namespace ethshard::scenario

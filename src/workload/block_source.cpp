@@ -25,4 +25,26 @@ const eth::Block* MaterializedSource::next_ref() {
   return &chain_->blocks()[pos_++];
 }
 
+TrafficGapSource::TrafficGapSource(std::unique_ptr<BlockSource> inner,
+                                   util::Timestamp gap_start,
+                                   util::Timestamp gap_length)
+    : inner_(std::move(inner)),
+      gap_start_(gap_start),
+      gap_length_(gap_length) {}
+
+bool TrafficGapSource::next(eth::Block& out) {
+  if (!inner_->next(out)) return false;
+  if (out.timestamp >= gap_start_) out.timestamp += gap_length_;
+  return true;
+}
+
+const eth::Block* TrafficGapSource::next_ref() {
+  const eth::Block* b = inner_->next_ref();
+  if (b == nullptr) return nullptr;
+  if (b->timestamp < gap_start_) return b;
+  shift_buffer_ = *b;
+  shift_buffer_.timestamp += gap_length_;
+  return &shift_buffer_;
+}
+
 }  // namespace ethshard::workload

@@ -112,6 +112,58 @@ class BlockSourceFactory {
   virtual std::unique_ptr<BlockSource> open() const = 0;
 };
 
+/// Decorator splicing a quiet period into any stream: every block with
+/// timestamp >= gap_start is shifted gap_length seconds into the future,
+/// producing a dormancy stretch with no traffic at all — the streaming
+/// analogue of with_traffic_gap (workload/generator.hpp), usable at
+/// scales where the chain is never materialized. Block numbers and
+/// contents are untouched; parent hashes are left as the inner source
+/// emitted them (replay consumers read timestamps and transactions, not
+/// hash links — re-seal through with_traffic_gap if you need a
+/// validating chain). Scenario files use this for the long
+/// dormancy→reactivation stress shape.
+class TrafficGapSource final : public BlockSource {
+ public:
+  /// Takes ownership of `inner`.
+  TrafficGapSource(std::unique_ptr<BlockSource> inner,
+                   util::Timestamp gap_start, util::Timestamp gap_length);
+
+  const SourceInfo& info() const override { return inner_->info(); }
+  bool next(eth::Block& out) override;
+  const eth::Block* next_ref() override;
+  const eth::AccountRegistry* directory() const override {
+    return inner_->directory();
+  }
+
+ private:
+  std::unique_ptr<BlockSource> inner_;
+  util::Timestamp gap_start_;
+  util::Timestamp gap_length_;
+  eth::Block shift_buffer_;  // backs next_ref() for shifted blocks
+};
+
+/// Factory wrapper pairing TrafficGapSource with any inner factory.
+class TrafficGapSourceFactory final : public BlockSourceFactory {
+ public:
+  /// Takes ownership of `inner`.
+  TrafficGapSourceFactory(std::unique_ptr<BlockSourceFactory> inner,
+                          util::Timestamp gap_start,
+                          util::Timestamp gap_length)
+      : inner_(std::move(inner)),
+        gap_start_(gap_start),
+        gap_length_(gap_length) {}
+
+  std::unique_ptr<BlockSource> open() const override {
+    return std::make_unique<TrafficGapSource>(inner_->open(), gap_start_,
+                                              gap_length_);
+  }
+
+ private:
+  std::unique_ptr<BlockSourceFactory> inner_;
+  util::Timestamp gap_start_;
+  util::Timestamp gap_length_;
+};
+
 /// Factory over a caller-owned chain (which must outlive the factory and
 /// every source it opens).
 class MaterializedSourceFactory final : public BlockSourceFactory {

@@ -18,11 +18,17 @@ double GrowthModel::cumulative_interactions(util::Timestamp t) const {
   if (t <= attack_start) return total;
   const double at_attack_start = total;
 
-  // Attack ramp (linear over the attack window).
+  // Attack ramp (linear over the attack window). A zero-length window
+  // (attack_start == attack_end — scenarios collapse the attack to a
+  // point to excise it from a shortened timeline) degenerates to a step:
+  // the whole attack volume lands at the boundary instead of 0/0 = NaN
+  // poisoning everything after it.
   const double attack_len = days(attack_start, attack_end);
-  const double into_attack = days(attack_start, std::min(t, attack_end));
-  total += attack_interactions * (into_attack / attack_len);
-  if (t <= attack_end) return total;
+  if (attack_len > 0) {
+    const double into_attack = days(attack_start, std::min(t, attack_end));
+    total += attack_interactions * (into_attack / attack_len);
+    if (t <= attack_end) return total;
+  }
   const double at_attack_end = at_attack_start + attack_interactions;
 
   // Post-attack: linear + quadratic, quadratic term fixed by end_target.

@@ -10,11 +10,18 @@
 #
 # The cap is derived from the probes instead of hard-coded so the test
 # tracks allocator/libc differences across hosts rather than flaking on
-# them. Usage:
+# them; and because peak RSS is still a measurement of a live process,
+# the enforcement round gets one retry with freshly probed peaks before
+# the test declares failure. Each run's verdict comes from the CLI's
+# --verdict-out JSON (the scenario-report schema, kind "rss_budget") —
+# parsed with string(JSON), not grepped out of stdout. Usage:
 #   cmake -DCLI=<path-to-ethshard> -DWORKDIR=<scratch> -P memory_smoke.cmake
 
 if(NOT DEFINED CLI OR NOT DEFINED WORKDIR)
   message(FATAL_ERROR "memory_smoke.cmake needs -DCLI=... and -DWORKDIR=...")
+endif()
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  message(FATAL_ERROR "memory_smoke.cmake needs cmake >= 3.19 (string(JSON))")
 endif()
 file(MAKE_DIRECTORY "${WORKDIR}")
 
@@ -23,81 +30,131 @@ file(MAKE_DIRECTORY "${WORKDIR}")
 set(WORKLOAD --preset paper --scale 0.02 --seed 5 --method Hashing
     --shards 4)
 
-# Runs `ethshard simulate` and parses the "peak rss mb" stdout line into
-# ${outvar} (integer MiB). rc and full output land in ${outvar}_rc /
-# ${outvar}_out for the enforcement checks.
+# Runs `ethshard simulate --verdict-out` and parses the rss_budget
+# verdict: ${outvar} gets the observed peak (integer MiB), ${outvar}_rc
+# the exit code, ${outvar}_pass the verdict's pass flag, ${outvar}_out
+# the combined stdout/stderr for error reporting.
 function(run_simulate outvar)
+  set(verdict "${WORKDIR}/${outvar}.json")
+  file(REMOVE "${verdict}")
   execute_process(
-    COMMAND ${CLI} simulate ${WORKLOAD} ${ARGN}
+    COMMAND ${CLI} simulate ${WORKLOAD} --verdict-out ${verdict} ${ARGN}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
   set(${outvar}_rc "${rc}" PARENT_SCOPE)
   set(${outvar}_out "${out}\n${err}" PARENT_SCOPE)
-  if(out MATCHES "peak rss mb +([0-9]+)")
-    set(${outvar} "${CMAKE_MATCH_1}" PARENT_SCOPE)
-  else()
-    set(${outvar} "" PARENT_SCOPE)
+  set(${outvar} "" PARENT_SCOPE)
+  set(${outvar}_pass "" PARENT_SCOPE)
+  if(NOT EXISTS "${verdict}")
+    return()
   endif()
+  file(READ "${verdict}" report)
+  string(JSON schema ERROR_VARIABLE jerr GET "${report}" schema_version)
+  if(NOT jerr STREQUAL "NOTFOUND" OR NOT schema EQUAL 1)
+    message(FATAL_ERROR
+      "unexpected verdict schema (version '${schema}', error '${jerr}') "
+      "in ${verdict}")
+  endif()
+  string(JSON v GET "${report}" scenarios 0 runs 0 invariants 0)
+  string(JSON kind GET "${v}" kind)
+  if(NOT kind STREQUAL "rss_budget")
+    message(FATAL_ERROR "expected an rss_budget verdict, got '${kind}'")
+  endif()
+  string(JSON observed GET "${v}" observed)
+  string(JSON vpass GET "${v}" pass)
+  # Integer MiB is plenty for the cap arithmetic below.
+  set(peak_int 0)
+  string(REGEX MATCH "^[0-9]+" peak_int "${observed}")
+  set(${outvar} "${peak_int}" PARENT_SCOPE)
+  set(${outvar}_pass "${vpass}" PARENT_SCOPE)
 endfunction()
 
-# --- probes -----------------------------------------------------------
+# One probe + enforcement round. Sets round_ok/round_why in the caller.
+function(budget_round)
+  set(round_ok FALSE PARENT_SCOPE)
 
-run_simulate(stream_peak --stream)
-if(NOT stream_peak_rc EQUAL 0)
-  message(FATAL_ERROR "streaming probe failed (rc=${stream_peak_rc}):\n${stream_peak_out}")
-endif()
-if(stream_peak STREQUAL "" OR stream_peak EQUAL 0)
-  # /proc peak accounting unavailable (container seccomp, exotic kernel):
-  # the budget mechanism degrades to "cannot measure", not wrong numbers.
-  message(STATUS "peak RSS unavailable on this host; skipping budget checks")
-  return()
-endif()
+  run_simulate(stream_peak --stream)
+  if(NOT stream_peak_rc EQUAL 0)
+    message(FATAL_ERROR
+      "streaming probe failed (rc=${stream_peak_rc}):\n${stream_peak_out}")
+  endif()
+  if(stream_peak STREQUAL "" OR stream_peak EQUAL 0)
+    # /proc peak accounting unavailable (container seccomp, exotic
+    # kernel): the budget mechanism degrades to "cannot measure", not
+    # wrong numbers.
+    message(STATUS "peak RSS unavailable on this host; skipping budget checks")
+    set(round_ok TRUE PARENT_SCOPE)
+    set(round_why "unmeasurable" PARENT_SCOPE)
+    return()
+  endif()
 
-run_simulate(mat_peak)
-if(NOT mat_peak_rc EQUAL 0)
-  message(FATAL_ERROR "materialized probe failed (rc=${mat_peak_rc}):\n${mat_peak_out}")
-endif()
-if(mat_peak STREQUAL "")
-  message(FATAL_ERROR "materialized probe printed no peak rss line:\n${mat_peak_out}")
-endif()
+  run_simulate(mat_peak)
+  if(NOT mat_peak_rc EQUAL 0)
+    message(FATAL_ERROR
+      "materialized probe failed (rc=${mat_peak_rc}):\n${mat_peak_out}")
+  endif()
+  if(mat_peak STREQUAL "")
+    message(FATAL_ERROR
+      "materialized probe wrote no verdict:\n${mat_peak_out}")
+  endif()
 
-message(STATUS "peak RSS: streaming ${stream_peak} MiB, materialized ${mat_peak} MiB")
+  message(STATUS
+    "peak RSS: streaming ${stream_peak} MiB, materialized ${mat_peak} MiB")
 
-# The streamed replay must actually be lighter — a healthy margin, not
-# just noise (8 MiB floor guards tiny-workload rounding).
-math(EXPR min_materialized "${stream_peak} + (${stream_peak} / 8) + 8")
-if(mat_peak LESS ${min_materialized})
-  message(FATAL_ERROR
-    "streaming saved no memory: streamed peak ${stream_peak} MiB vs "
-    "materialized ${mat_peak} MiB (needed >= ${min_materialized} MiB)")
+  # The streamed replay must actually be lighter — a healthy margin, not
+  # just noise (8 MiB floor guards tiny-workload rounding).
+  math(EXPR min_materialized "${stream_peak} + (${stream_peak} / 8) + 8")
+  if(mat_peak LESS ${min_materialized})
+    set(round_why
+      "streaming saved no memory: streamed peak ${stream_peak} MiB vs \
+materialized ${mat_peak} MiB (needed >= ${min_materialized} MiB)"
+      PARENT_SCOPE)
+    return()
+  endif()
+
+  math(EXPR cap "(${stream_peak} + ${mat_peak}) / 2")
+  message(STATUS "enforcing --max-rss-mb ${cap}")
+
+  run_simulate(under --stream --max-rss-mb ${cap})
+  if(NOT under_rc EQUAL 0 OR NOT under_pass STREQUAL "ON")
+    set(round_why
+      "streaming simulate exceeded --max-rss-mb ${cap} \
+(rc=${under_rc}, verdict pass='${under_pass}'):\n${under_out}"
+      PARENT_SCOPE)
+    return()
+  endif()
+
+  run_simulate(over --max-rss-mb ${cap})
+  if(over_rc EQUAL 0)
+    set(round_why
+      "materialized simulate (peak ~${mat_peak} MiB) passed under \
+--max-rss-mb ${cap}; the budget enforcement is not engaging:\n${over_out}"
+      PARENT_SCOPE)
+    return()
+  endif()
+  if(NOT over_pass STREQUAL "OFF")
+    set(round_why
+      "materialized run failed without a failing rss_budget verdict \
+(rc=${over_rc}, verdict pass='${over_pass}'):\n${over_out}"
+      PARENT_SCOPE)
+    return()
+  endif()
+
+  set(round_ok TRUE PARENT_SCOPE)
+  set(round_why
+    "${stream_peak} MiB streamed < cap ${cap} < ${mat_peak} MiB materialized"
+    PARENT_SCOPE)
+endfunction()
+
+# Peak-RSS numbers wobble with allocator arena timing; one re-probe with
+# a fresh cap separates a noisy borderline round from a real regression.
+budget_round()
+if(NOT round_ok)
+  message(STATUS "budget round failed (${round_why}); retrying once")
+  budget_round()
 endif()
-
-# --- enforcement ------------------------------------------------------
-
-math(EXPR cap "(${stream_peak} + ${mat_peak}) / 2")
-message(STATUS "enforcing --max-rss-mb ${cap}")
-
-run_simulate(under --stream --max-rss-mb ${cap})
-if(NOT under_rc EQUAL 0)
-  message(FATAL_ERROR
-    "streaming simulate exceeded --max-rss-mb ${cap} (rc=${under_rc}):\n${under_out}")
+if(NOT round_ok)
+  message(FATAL_ERROR "memory smoke failed after retry: ${round_why}")
 endif()
-if(NOT under_out MATCHES "within --max-rss-mb")
-  message(FATAL_ERROR
-    "streaming run did not report its budget check:\n${under_out}")
-endif()
-
-run_simulate(over --max-rss-mb ${cap})
-if(over_rc EQUAL 0)
-  message(FATAL_ERROR
-    "materialized simulate (peak ~${mat_peak} MiB) passed under "
-    "--max-rss-mb ${cap}; the budget enforcement is not engaging:\n${over_out}")
-endif()
-if(NOT over_out MATCHES "exceeded --max-rss-mb")
-  message(FATAL_ERROR
-    "materialized run failed for the wrong reason (rc=${over_rc}):\n${over_out}")
-endif()
-
-message(STATUS "memory smoke passed: ${stream_peak} MiB streamed < cap "
-  "${cap} < ${mat_peak} MiB materialized")
+message(STATUS "memory smoke passed: ${round_why}")

@@ -39,9 +39,10 @@ run_tsan() {
   # cross-thread traffic on the simulator's hot path.
   cmake --build build-tsan -j "$(nproc)" \
     --target test_parallel_partition test_util test_pipelined_replay
-  # Smaller histories, same strategy × load-model × thread matrix: TSan
-  # multiplies runtime ~10x, the differential coverage is per-window.
-  ETHSHARD_DIFF_SCALE=0.0002 \
+  # The tsan preset pins ETHSHARD_DIFF_SCALE=0.0002 as a cache variable
+  # (tests/CMakeLists.txt injects it into the tests' environment): smaller
+  # histories, same strategy × load-model × thread matrix — TSan multiplies
+  # runtime ~10x and the differential coverage is per-window.
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --preset tsan "$@"
 }

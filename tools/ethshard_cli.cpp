@@ -38,6 +38,7 @@
 #include "partition/quality.hpp"
 #include "partition/spectral.hpp"
 #include "partition/streaming.hpp"
+#include "scenario/report.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
@@ -118,6 +119,9 @@ int usage() {
       "  --events-csv PATH    simulate: repartition events\n"
       "  --telemetry-out PATH simulate: streaming JSONL, one record per\n"
       "                       window as the replay runs (incl. rss_mb)\n"
+      "  --verdict-out PATH   any command: write the resource-budget\n"
+      "                       verdict (peak rss vs --max-rss-mb) as\n"
+      "                       scenario-report JSON for scripts to parse\n"
       "  --from/--to DATE     dot: window bounds (YYYY-MM-DD)\n"
       "  --max-nodes N        dot: subgraph size cap (20)\n"
       "\n"
@@ -655,21 +659,54 @@ int main(int argc, char** argv) {
     // against the kernel's process high-water mark, so nothing the run
     // did can hide from it; a breach is an error exit, which is what
     // lets CI assert "streaming stays under X where materialized
-    // doesn't".
+    // doesn't". --verdict-out additionally serializes the check as a
+    // scenario-report JSON (src/scenario/report.hpp, kind "rss_budget"),
+    // so scripts parse a machine verdict instead of grepping stderr.
     const std::uint64_t max_rss_mb = args.get_uint("max-rss-mb", 0);
-    if (max_rss_mb > 0) {
+    const std::string verdict_out = args.get("verdict-out", "");
+    if (max_rss_mb > 0 || !verdict_out.empty()) {
       const double peak_mb =
           static_cast<double>(util::peak_rss_bytes()) / (1024.0 * 1024.0);
-      if (peak_mb > static_cast<double>(max_rss_mb)) {
-        std::fprintf(stderr,
-                     "[ethshard] error: peak rss %.1f MiB exceeded "
-                     "--max-rss-mb %llu\n",
-                     peak_mb, static_cast<unsigned long long>(max_rss_mb));
-        return 1;
+      const bool within =
+          max_rss_mb == 0 || peak_mb <= static_cast<double>(max_rss_mb);
+      if (!verdict_out.empty()) {
+        scenario::Report report;
+        scenario::ScenarioReport& sc = report.scenarios.emplace_back();
+        sc.name = "cli-" + command;
+        sc.description = "ethshard " + command + " resource verdict";
+        scenario::StrategyRunReport& run = sc.runs.emplace_back();
+        run.strategy = command;
+        scenario::InvariantVerdict v;
+        v.kind = "rss_budget";
+        v.name = max_rss_mb > 0
+                     ? "peak_rss_mb <= " + std::to_string(max_rss_mb)
+                     : "peak_rss_mb (unbounded)";
+        v.observed = peak_mb;
+        v.threshold = static_cast<double>(max_rss_mb);
+        v.pass = within;
+        if (!within)
+          v.detail = "peak rss exceeded the --max-rss-mb budget";
+        run.invariants.push_back(v);
+        std::ofstream vout(verdict_out);
+        ETHSHARD_CHECK_MSG(vout.good(), "cannot open --verdict-out file "
+                                            << verdict_out);
+        scenario::write_report_json(report, vout);
+        std::fprintf(stderr, "[ethshard] verdict -> %s\n",
+                     verdict_out.c_str());
       }
-      std::fprintf(stderr,
-                   "[ethshard] peak rss %.1f MiB within --max-rss-mb %llu\n",
-                   peak_mb, static_cast<unsigned long long>(max_rss_mb));
+      if (max_rss_mb > 0) {
+        if (!within) {
+          std::fprintf(stderr,
+                       "[ethshard] error: peak rss %.1f MiB exceeded "
+                       "--max-rss-mb %llu\n",
+                       peak_mb, static_cast<unsigned long long>(max_rss_mb));
+          return 1;
+        }
+        std::fprintf(
+            stderr,
+            "[ethshard] peak rss %.1f MiB within --max-rss-mb %llu\n",
+            peak_mb, static_cast<unsigned long long>(max_rss_mb));
+      }
     }
     for (const std::string& flag : args.unused())
       std::fprintf(stderr, "[ethshard] warning: unused flag --%s\n",
