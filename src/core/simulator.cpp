@@ -304,6 +304,7 @@ void ShardingSimulator::verify_incremental_state() {
 
 void ShardingSimulator::flush_window(util::Timestamp window_end) {
   ETHSHARD_OBS_TIMER("sim/flush_window_ms");
+  ETHSHARD_OBS_SPAN("pipeline/flush");
   // The window's wall span is measured *before* any repartition runs
   // (and window_wall_start_ is re-armed after it returns), so a
   // repartition's cost shows up only in partitioner_ms — not smeared
@@ -514,6 +515,7 @@ void ShardingSimulator::run_serial() {
 
 void ShardingSimulator::apply_window_table(const WindowTable& table) {
   ETHSHARD_OBS_TIMER("sim/window_apply_ms");
+  ETHSHARD_OBS_SPAN("pipeline/apply");
   // The producer measured its own wall time but must not touch obs (its
   // thread-local registry may be the wrong one in experiment grids), so
   // the table's cost is recorded here.
@@ -594,8 +596,55 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
   // cheap windows before a flush-heavy one stalls the consumer.
   util::BoundedQueue<WindowTable> queue(replay_threads);
   std::uint64_t windows_pushed = 0;  // producer-written, read after join
+
+#if ETHSHARD_OBS_ENABLED
+  // Pipeline profiling taps: stall intervals as retroactive spans, queue
+  // occupancy and per-window progress as counter tracks. Everything goes
+  // through the process-global TraceBuffer, which is safe from any
+  // thread — unlike the metric macros, which stay off the producer
+  // thread (its thread-local registry may be the wrong one in experiment
+  // grids; see the note in window_aggregator.cpp). The observer is only
+  // installed when tracing is on, so untraced runs keep the queue's
+  // zero-clock-read path.
+  struct PipelineTap final : util::QueueObserver {
+    void on_push(std::size_t depth, double wait_ms) override {
+      if (wait_ms > 0) {
+        const double end_ms = obs::trace_now_ms();
+        obs::record_span("pipeline/backpressure_stall", end_ms - wait_ms,
+                         end_ms);
+      }
+      obs::record_counter_sample("pipeline/queue_depth",
+                                 static_cast<double>(depth));
+      obs::record_counter_sample("pipeline/windows_aggregated",
+                                 static_cast<double>(++pushed));
+    }
+    void on_pop(std::size_t depth, double wait_ms) override {
+      if (wait_ms > 0) {
+        const double end_ms = obs::trace_now_ms();
+        obs::record_span("pipeline/prefetch_stall", end_ms - wait_ms,
+                         end_ms);
+      }
+      obs::record_counter_sample("pipeline/queue_depth",
+                                 static_cast<double>(depth));
+      obs::record_counter_sample("pipeline/windows_applied",
+                                 static_cast<double>(++popped));
+    }
+    // Each field is touched by exactly one side of the queue.
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+  };
+  PipelineTap tap;
+  if (obs::trace_enabled()) {
+    queue.set_observer(&tap);
+    obs::set_current_thread_lane("Stage B (apply+flush)");
+  }
+#endif
+
   std::thread producer([&] {
     try {
+#if ETHSHARD_OBS_ENABLED
+      obs::set_current_thread_lane("Stage A (aggregate)");
+#endif
       WindowAggregator aggregator;
       if (const eth::Chain* chain = source_->materialized_chain()) {
         // Whole chain in memory: bin it up front and aggregate window
@@ -606,7 +655,11 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
         const std::vector<workload::WindowSpan> spans =
             workload::window_spans(block_span, cfg_.metric_window);
         for (const workload::WindowSpan& span : spans) {
-          WindowTable table = aggregator.aggregate(block_span, span);
+          WindowTable table;
+          {
+            ETHSHARD_OBS_SPAN("pipeline/aggregate");
+            table = aggregator.aggregate(block_span, span);
+          }
           ++windows_pushed;
           if (!queue.push(std::move(table))) return;  // consumer bailed
         }
@@ -617,15 +670,19 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
         workload::WindowBinner binner(cfg_.metric_window);
         workload::BinnedWindow window;
         eth::Block block;
+        auto aggregate_traced = [&](const workload::BinnedWindow& w) {
+          ETHSHARD_OBS_SPAN("pipeline/aggregate");
+          return aggregator.aggregate(w);
+        };
         while (source_->next(block)) {
           if (binner.push(std::move(block), window)) {
             ++windows_pushed;
-            if (!queue.push(aggregator.aggregate(window))) return;
+            if (!queue.push(aggregate_traced(window))) return;
           }
         }
         if (binner.finish(window)) {
           ++windows_pushed;
-          if (!queue.push(aggregator.aggregate(window))) return;
+          if (!queue.push(aggregate_traced(window))) return;
         }
       }
       queue.close();

@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -144,6 +145,74 @@ void write_trace_json(std::ostream& out,
   out << (first ? "" : "\n") << "]}\n";
 }
 
+void write_trace_json(std::ostream& out, const TraceSnapshot& snapshot) {
+  // Render every timed event up front, then emit in timestamp order:
+  // Perfetto doesn't require sorted input, but sorted output makes the
+  // file scannable by line-oriented tools (and testable for monotonic
+  // timestamps).
+  struct Rendered {
+    double ts_ms;
+    std::string json;
+  };
+  std::vector<Rendered> events;
+  events.reserve(snapshot.spans.size() + snapshot.counters.size() + 1);
+
+  for (const SpanRecord& s : snapshot.spans) {
+    std::string json = "  {\"name\": \"" + json_escape(s.path) +
+                       "\", \"ph\": \"X\", \"ts\": " +
+                       json_double(s.start_ms * 1000.0) +
+                       ", \"dur\": " + json_double(s.duration_ms * 1000.0) +
+                       ", \"pid\": 0, \"tid\": " + std::to_string(s.thread) +
+                       "}";
+    events.push_back({s.start_ms, std::move(json)});
+  }
+  for (const CounterRecord& c : snapshot.counters) {
+    std::string json = "  {\"name\": \"" + json_escape(c.name) +
+                       "\", \"ph\": \"C\", \"ts\": " +
+                       json_double(c.ts_ms * 1000.0) +
+                       ", \"pid\": 0, \"args\": {\"value\": " +
+                       json_double(c.value) + "}}";
+    events.push_back({c.ts_ms, std::move(json)});
+  }
+  if (snapshot.dropped_spans > 0 || snapshot.dropped_counters > 0) {
+    // A global instant at the end of the timeline flags the truncation
+    // right in the viewer, mirroring the trace/dropped_spans counter.
+    double end_ms = 0;
+    for (const SpanRecord& s : snapshot.spans)
+      end_ms = std::max(end_ms, s.start_ms + s.duration_ms);
+    for (const CounterRecord& c : snapshot.counters)
+      end_ms = std::max(end_ms, c.ts_ms);
+    std::string json =
+        "  {\"name\": \"trace_truncated\", \"ph\": \"i\", \"ts\": " +
+        json_double(end_ms * 1000.0) +
+        ", \"s\": \"g\", \"pid\": 0, \"tid\": 0, "
+        "\"args\": {\"dropped_spans\": " +
+        std::to_string(snapshot.dropped_spans) +
+        ", \"dropped_counters\": " +
+        std::to_string(snapshot.dropped_counters) + "}}";
+    events.push_back({end_ms, std::move(json)});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Rendered& a, const Rendered& b) {
+                     return a.ts_ms < b.ts_ms;
+                   });
+
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  out << (first ? "\n" : ",\n")
+      << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+         "\"args\": {\"name\": \"ethshard\"}}";
+  first = false;
+  for (const auto& [ordinal, lane] : snapshot.lanes) {
+    out << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": "
+        << ordinal << ", \"args\": {\"name\": \"" << json_escape(lane)
+        << "\"}}";
+  }
+  for (const Rendered& e : events) out << ",\n" << e.json;
+  out << "\n]}\n";
+}
+
 void write_metrics_json_file(const std::string& path,
                              const MetricsSnapshot& snapshot) {
   std::ofstream out(path);
@@ -163,6 +232,13 @@ void write_trace_json_file(const std::string& path,
   std::ofstream out(path);
   ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path);
   write_trace_json(out, spans);
+}
+
+void write_trace_json_file(const std::string& path,
+                           const TraceSnapshot& snapshot) {
+  std::ofstream out(path);
+  ETHSHARD_CHECK_MSG(out.good(), "cannot open " << path);
+  write_trace_json(out, snapshot);
 }
 
 }  // namespace ethshard::obs

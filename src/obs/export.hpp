@@ -29,6 +29,14 @@ void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
 void write_trace_json(std::ostream& out,
                       const std::vector<SpanRecord>& spans);
 
+/// Full-fidelity Chrome trace: "M" thread_name metadata rows name the
+/// lanes (Stage A, Stage B, pool workers), "X" duration events carry the
+/// spans, "C" events draw the counter tracks (queue depth, windows
+/// completed), and a global "i" instant marks truncation when spans or
+/// counters were dropped. Events are emitted one per line, sorted by
+/// timestamp (metadata first), so downstream line scanners stay simple.
+void write_trace_json(std::ostream& out, const TraceSnapshot& snapshot);
+
 /// File conveniences; throw util::CheckFailure if the file cannot open.
 void write_metrics_json_file(const std::string& path,
                              const MetricsSnapshot& snapshot);
@@ -36,5 +44,7 @@ void write_metrics_csv_file(const std::string& path,
                             const MetricsSnapshot& snapshot);
 void write_trace_json_file(const std::string& path,
                            const std::vector<SpanRecord>& spans);
+void write_trace_json_file(const std::string& path,
+                           const TraceSnapshot& snapshot);
 
 }  // namespace ethshard::obs

@@ -1,6 +1,7 @@
 #include "obs/registry.hpp"
 
 #include <atomic>
+#include <cstdio>
 
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
@@ -25,8 +26,18 @@ void parallel_add_count(const char* name, std::uint64_t delta) {
   if (enabled()) current().add_counter(name, delta);
 }
 
+// Names the pool worker's timeline lane so traces show "pool-worker-N"
+// instead of a bare thread number. Worker indices repeat across
+// dispatches; identically named lanes are fine (the tid disambiguates).
+void parallel_worker_start(std::size_t worker_index) {
+  if (!trace_enabled()) return;
+  char name[32];
+  std::snprintf(name, sizeof(name), "pool-worker-%zu", worker_index);
+  set_current_thread_lane(name);
+}
+
 constexpr util::ParallelTelemetryHooks kParallelHooks{
-    &parallel_record_hist, &parallel_add_count};
+    &parallel_record_hist, &parallel_add_count, &parallel_worker_start};
 
 }  // namespace
 
@@ -34,12 +45,22 @@ bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
+  internal::refresh_parallel_hooks();
+}
+
+namespace internal {
+
+void refresh_parallel_hooks() {
 #if ETHSHARD_OBS_ENABLED
   // Hook the parallel runtime's pool telemetry in/out with the master
-  // switch so disabled runs pay nothing beyond one null-pointer check.
+  // switches (metrics feed the registry, tracing names worker lanes) so
+  // fully disabled runs pay nothing beyond one null-pointer check.
+  const bool on = enabled() || trace_enabled();
   util::set_parallel_telemetry(on ? &kParallelHooks : nullptr);
 #endif
 }
+
+}  // namespace internal
 
 void TimerStat::add(double ms) {
   if (count == 0) {

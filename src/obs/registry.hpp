@@ -32,6 +32,13 @@ namespace ethshard::obs {
 bool enabled();
 void set_enabled(bool on);
 
+namespace internal {
+/// (Re)installs or clears the parallel-runtime hook table based on the
+/// current metrics + tracing switches. Called by set_enabled and
+/// set_trace_enabled; not part of the public surface.
+void refresh_parallel_hooks();
+}  // namespace internal
+
 /// Aggregate of every record_ms() call made under one timer name. Exact
 /// count/total/min/max plus a log-bucketed distribution of the samples,
 /// so snapshots answer p50/p90/p99 as well as the mean.

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -35,6 +36,26 @@ struct SpanRecord {
   std::uint32_t depth = 0;
 };
 
+/// One sample on a named counter track (queue depth, windows completed).
+/// Exported as a Chrome "C" event, so the viewer draws the series as a
+/// step graph under the timeline lanes.
+struct CounterRecord {
+  std::string name;
+  double ts_ms = 0;
+  double value = 0;
+};
+
+/// Everything the buffer holds, copied atomically: spans, counter samples,
+/// the thread-ordinal -> lane-name map, and the drop counts (nonzero means
+/// the exported trace is a truncated prefix, not the full run).
+struct TraceSnapshot {
+  std::vector<SpanRecord> spans;
+  std::vector<CounterRecord> counters;
+  std::map<std::uint32_t, std::string> lanes;
+  std::uint64_t dropped_spans = 0;
+  std::uint64_t dropped_counters = 0;
+};
+
 /// Process-wide store of completed spans. Growth is bounded: once
 /// max_spans() spans are buffered, further records are dropped and
 /// counted (a multi-hour --trace-out run degrades to a truncated trace
@@ -48,13 +69,23 @@ class TraceBuffer {
   static TraceBuffer& global();
 
   void record(SpanRecord span);
-  /// Copy of everything recorded so far, in completion order.
+  /// Records one counter-track sample. The span cap value applies to the
+  /// counter store as its own budget (an unbounded sampler must not grow
+  /// past what the span side is allowed).
+  void record_counter(CounterRecord sample);
+  /// Names the timeline lane for a thread ordinal ("Stage A (aggregate)").
+  /// Last writer wins; unnamed lanes export as bare thread numbers.
+  void set_thread_lane(std::uint32_t ordinal, std::string name);
+
+  /// Copy of every span recorded so far, in completion order.
   std::vector<SpanRecord> snapshot() const;
-  /// Drops buffered spans and resets the drop counter.
+  /// Spans + counters + lane names + drop counts in one consistent copy.
+  TraceSnapshot trace_snapshot() const;
+  /// Drops buffered spans/counters/lanes and resets the drop counters.
   void clear();
   std::size_t size() const;
 
-  /// Buffered-span cap; 0 means unlimited.
+  /// Buffered-span cap (applied to counters too); 0 means unlimited.
   void set_max_spans(std::size_t cap);
   std::size_t max_spans() const;
   /// Spans rejected because the buffer was full (since the last clear).
@@ -63,8 +94,11 @@ class TraceBuffer {
  private:
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
+  std::vector<CounterRecord> counters_;
+  std::map<std::uint32_t, std::string> lanes_;
   std::size_t max_spans_ = kDefaultMaxSpans;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_counters_ = 0;
 };
 
 /// RAII span. `name` must outlive the span (string literals in practice).
@@ -84,5 +118,23 @@ class ScopedSpan {
 
 /// Milliseconds since the trace epoch (steady clock).
 double trace_now_ms();
+
+/// This thread's small stable ordinal — the "tid" every span it records
+/// carries, and the key set_thread_lane names.
+std::uint32_t current_thread_ordinal();
+
+/// Names the calling thread's timeline lane in the global buffer. No-op
+/// when tracing is disabled. `name` is copied.
+void set_current_thread_lane(const char* name);
+
+/// Records an already-timed interval on the calling thread's lane —
+/// for retroactive spans (a stall measured as now - wait) where RAII
+/// scoping is impossible. `path` is recorded verbatim (no nesting under
+/// the thread's open ScopedSpans). No-op when tracing is disabled.
+void record_span(const char* path, double start_ms, double end_ms);
+
+/// Records one sample on a counter track, stamped with the current trace
+/// clock. No-op when tracing is disabled.
+void record_counter_sample(const char* name, double value);
 
 }  // namespace ethshard::obs

@@ -1,0 +1,428 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <ostream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace ethshard::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal field scanner over one serialized event object. The exporter
+// writes flat objects with at most one nested "args" object, so a
+// first-occurrence key search is unambiguous.
+
+std::optional<std::size_t> value_pos(const std::string& obj,
+                                     const char* key) {
+  const std::string needle = std::string("\"") + key + "\"";
+  std::size_t pos = obj.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  pos += needle.size();
+  while (pos < obj.size() &&
+         (obj[pos] == ' ' || obj[pos] == ':' || obj[pos] == '\t'))
+    ++pos;
+  if (pos >= obj.size()) return std::nullopt;
+  return pos;
+}
+
+std::optional<std::string> string_field(const std::string& obj,
+                                        const char* key) {
+  const std::optional<std::size_t> at = value_pos(obj, key);
+  if (!at || obj[*at] != '"') return std::nullopt;
+  std::string out;
+  for (std::size_t i = *at + 1; i < obj.size(); ++i) {
+    const char c = obj[i];
+    if (c == '"') return out;
+    if (c == '\\' && i + 1 < obj.size()) {
+      const char esc = obj[++i];
+      switch (esc) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u':
+          // Only control characters are \u-escaped by our exporter;
+          // decode the low byte and skip the four hex digits.
+          if (i + 4 < obj.size()) {
+            out += static_cast<char>(
+                std::strtoul(obj.substr(i + 1, 4).c_str(), nullptr, 16));
+            i += 4;
+          }
+          break;
+        default:
+          out += esc;
+      }
+      continue;
+    }
+    out += c;
+  }
+  return std::nullopt;  // unterminated string
+}
+
+std::optional<double> number_field(const std::string& obj,
+                                   const char* key) {
+  const std::optional<std::size_t> at = value_pos(obj, key);
+  if (!at) return std::nullopt;
+  const char* start = obj.c_str() + *at;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+/// The "args" sub-object, or empty when absent.
+std::string args_text(const std::string& obj) {
+  const std::optional<std::size_t> at = value_pos(obj, "args");
+  if (!at || obj[*at] != '{') return {};
+  int depth = 0;
+  for (std::size_t i = *at; i < obj.size(); ++i) {
+    if (obj[i] == '{') ++depth;
+    if (obj[i] == '}' && --depth == 0)
+      return obj.substr(*at, i - *at + 1);
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// Interval arithmetic for busy-time unions and stage overlap.
+
+using Interval = std::pair<double, double>;
+
+/// Sorts + merges in place; returns total covered length.
+double merge_union(std::vector<Interval>& intervals) {
+  if (intervals.empty()) return 0;
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> merged;
+  merged.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    if (iv.second <= iv.first) continue;
+    if (!merged.empty() && iv.first <= merged.back().second)
+      merged.back().second = std::max(merged.back().second, iv.second);
+    else
+      merged.push_back(iv);
+  }
+  intervals = std::move(merged);
+  double total = 0;
+  for (const Interval& iv : intervals) total += iv.second - iv.first;
+  return total;
+}
+
+/// Total intersection length of two already-merged unions.
+double intersect_length(const std::vector<Interval>& a,
+                        const std::vector<Interval>& b) {
+  double total = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second)
+      ++i;
+    else
+      ++j;
+  }
+  return total;
+}
+
+/// Matches a span path against a pipeline leaf name: exact, or nested
+/// under enclosing ScopedSpans ("sim/run/pipeline/apply").
+bool path_matches(const std::string& path, const char* leaf) {
+  const std::size_t n = std::strlen(leaf);
+  if (path.size() == n) return path == leaf;
+  return path.size() > n + 1 &&
+         path[path.size() - n - 1] == '/' &&
+         path.compare(path.size() - n, n, leaf) == 0;
+}
+
+constexpr const char* kAggregate = "pipeline/aggregate";
+constexpr const char* kApply = "pipeline/apply";
+constexpr const char* kFlush = "pipeline/flush";
+constexpr const char* kBackpressure = "pipeline/backpressure_stall";
+constexpr const char* kPrefetch = "pipeline/prefetch_stall";
+
+bool is_stall(const std::string& path) {
+  return path_matches(path, kBackpressure) || path_matches(path, kPrefetch);
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+ParsedTrace parse_chrome_trace(const std::string& json_text) {
+  const std::size_t array_at = json_text.find("\"traceEvents\"");
+  ETHSHARD_CHECK_MSG(array_at != std::string::npos,
+                     "trace file has no traceEvents array");
+  const std::size_t open = json_text.find('[', array_at);
+  ETHSHARD_CHECK_MSG(open != std::string::npos,
+                     "traceEvents is not an array");
+
+  ParsedTrace trace;
+  std::size_t pos = open + 1;
+  while (pos < json_text.size()) {
+    const std::size_t obj_start = json_text.find_first_of("{]", pos);
+    ETHSHARD_CHECK_MSG(obj_start != std::string::npos,
+                       "unterminated traceEvents array");
+    if (json_text[obj_start] == ']') break;
+    int depth = 0;
+    std::size_t obj_end = std::string::npos;
+    for (std::size_t i = obj_start; i < json_text.size(); ++i) {
+      if (json_text[i] == '{') ++depth;
+      if (json_text[i] == '}' && --depth == 0) {
+        obj_end = i;
+        break;
+      }
+    }
+    ETHSHARD_CHECK_MSG(obj_end != std::string::npos,
+                       "unterminated event object in trace");
+    const std::string obj =
+        json_text.substr(obj_start, obj_end - obj_start + 1);
+    pos = obj_end + 1;
+
+    const std::optional<std::string> name = string_field(obj, "name");
+    const std::optional<std::string> ph = string_field(obj, "ph");
+    ETHSHARD_CHECK_MSG(name && ph && ph->size() == 1,
+                       "trace event without name/ph: " << obj);
+
+    TraceEvent ev;
+    ev.name = *name;
+    ev.ph = (*ph)[0];
+    const std::string args = args_text(obj);
+    if (const std::optional<double> tid = number_field(obj, "tid"))
+      ev.tid = static_cast<std::uint64_t>(*tid);
+    if (ev.ph == 'X') {
+      const std::optional<double> ts = number_field(obj, "ts");
+      const std::optional<double> dur = number_field(obj, "dur");
+      ETHSHARD_CHECK_MSG(ts && dur,
+                         "X event without ts/dur: " << obj);
+      ev.ts_ms = *ts / 1000.0;
+      ev.dur_ms = *dur / 1000.0;
+    } else if (ev.ph == 'C') {
+      const std::optional<double> ts = number_field(obj, "ts");
+      std::optional<double> value;
+      if (!args.empty()) value = number_field(args, "value");
+      ETHSHARD_CHECK_MSG(ts && value,
+                         "C event without ts/args.value: " << obj);
+      ev.ts_ms = *ts / 1000.0;
+      ev.value = *value;
+    } else if (ev.ph == 'M') {
+      if (ev.name == "thread_name" && !args.empty()) {
+        if (const std::optional<std::string> lane =
+                string_field(args, "name")) {
+          ev.arg_name = *lane;
+          trace.lanes[ev.tid] = *lane;
+        }
+      }
+    } else if (ev.ph == 'i') {
+      if (const std::optional<double> ts = number_field(obj, "ts"))
+        ev.ts_ms = *ts / 1000.0;
+      if (ev.name == "trace_truncated") trace.truncated = true;
+    }
+    trace.events.push_back(std::move(ev));
+  }
+  return trace;
+}
+
+PipelineReport analyze_pipeline_trace(const ParsedTrace& trace) {
+  PipelineReport report;
+  report.truncated = trace.truncated;
+
+  // Bucket the duration events once.
+  std::vector<Interval> aggregate_ivs;
+  std::vector<Interval> apply_flush_ivs;
+  std::map<std::uint64_t, std::vector<Interval>> lane_stage_ivs;
+  std::map<std::uint64_t, std::vector<Interval>> lane_all_ivs;
+  std::map<std::uint64_t, std::uint64_t> lane_span_counts;
+  double min_ts = 0;
+  double max_ts = 0;
+  bool any_pipeline = false;
+  bool any_span = false;
+
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.ph != 'X') continue;
+    const Interval iv{ev.ts_ms, ev.ts_ms + ev.dur_ms};
+    ++lane_span_counts[ev.tid];
+    if (!is_stall(ev.name)) lane_all_ivs[ev.tid].push_back(iv);
+
+    const bool agg = path_matches(ev.name, kAggregate);
+    const bool apply = path_matches(ev.name, kApply);
+    const bool flush = path_matches(ev.name, kFlush);
+    const bool bp = path_matches(ev.name, kBackpressure);
+    const bool pf = path_matches(ev.name, kPrefetch);
+    if (agg || apply) any_pipeline = true;
+    if (agg || apply || flush || bp || pf) {
+      if (!any_span || iv.first < min_ts) min_ts = iv.first;
+      if (!any_span || iv.second > max_ts) max_ts = iv.second;
+      any_span = true;
+    }
+    if (agg) {
+      report.aggregate_ms += ev.dur_ms;
+      ++report.windows_aggregated;
+      aggregate_ivs.push_back(iv);
+      lane_stage_ivs[ev.tid].push_back(iv);
+    } else if (apply) {
+      report.apply_ms += ev.dur_ms;
+      ++report.windows_applied;
+      apply_flush_ivs.push_back(iv);
+      lane_stage_ivs[ev.tid].push_back(iv);
+    } else if (flush) {
+      report.flush_ms += ev.dur_ms;
+      apply_flush_ivs.push_back(iv);
+      lane_stage_ivs[ev.tid].push_back(iv);
+    } else if (bp) {
+      report.backpressure_ms += ev.dur_ms;
+      ++report.backpressure_count;
+    } else if (pf) {
+      report.prefetch_ms += ev.dur_ms;
+      ++report.prefetch_count;
+    }
+  }
+
+  // With no pipeline spans at all, fall back to the full event extent so
+  // the lanes section still describes the trace.
+  if (!any_span) {
+    bool first = true;
+    for (const TraceEvent& ev : trace.events) {
+      if (ev.ph != 'X') continue;
+      if (first || ev.ts_ms < min_ts) min_ts = ev.ts_ms;
+      if (first || ev.ts_ms + ev.dur_ms > max_ts)
+        max_ts = ev.ts_ms + ev.dur_ms;
+      first = false;
+    }
+  }
+  report.wall_ms = std::max(0.0, max_ts - min_ts);
+
+  // Lanes: pipeline lanes report their stage-productive union; other
+  // lanes (pool workers, the run's outer spans) report all non-stall
+  // activity.
+  for (auto& [tid, all_ivs] : lane_all_ivs) {
+    LaneStat lane;
+    lane.tid = tid;
+    const auto lane_name = trace.lanes.find(tid);
+    lane.name = lane_name != trace.lanes.end()
+                    ? lane_name->second
+                    : "thread-" + std::to_string(tid);
+    auto stage = lane_stage_ivs.find(tid);
+    std::vector<Interval>& ivs =
+        stage != lane_stage_ivs.end() ? stage->second : all_ivs;
+    lane.busy_ms = merge_union(ivs);
+    lane.utilization =
+        report.wall_ms > 0 ? lane.busy_ms / report.wall_ms : 0;
+    lane.spans = lane_span_counts[tid];
+    report.lanes.push_back(std::move(lane));
+  }
+
+  if (!any_pipeline) return report;  // bottleneck/verdict stay no-pipeline
+
+  const double busy_a = merge_union(aggregate_ivs);
+  const double busy_b = merge_union(apply_flush_ivs);
+  report.overlap_ms = intersect_length(aggregate_ivs, apply_flush_ivs);
+  const double smaller = std::min(busy_a, busy_b);
+  report.overlap_fraction = smaller > 0 ? report.overlap_ms / smaller : 0;
+
+  if (report.wall_ms > 0) {
+    report.prefetch_fraction = report.prefetch_ms / report.wall_ms;
+    report.backpressure_fraction =
+        report.backpressure_ms / report.wall_ms;
+  }
+  // One side stalling >=10% of the wall names that side's feeder as the
+  // bottleneck; both sides stalling points at the queue itself.
+  const bool pf_hot = report.prefetch_fraction >= 0.10;
+  const bool bp_hot = report.backpressure_fraction >= 0.10;
+  if (pf_hot && bp_hot)
+    report.bottleneck = "queue-bound";
+  else if (pf_hot)
+    report.bottleneck = "aggregate-bound";
+  else if (bp_hot)
+    report.bottleneck = "apply-bound";
+  else
+    report.bottleneck = "balanced";
+
+  report.serial_estimate_ms =
+      report.aggregate_ms + report.apply_ms + report.flush_ms;
+  report.speedup = report.wall_ms > 0
+                       ? report.serial_estimate_ms / report.wall_ms
+                       : 0;
+  if (report.speedup >= 1.05)
+    report.recommendation = "pipelined";
+  else if (report.speedup <= 0.95)
+    report.recommendation = "serial";
+  else
+    report.recommendation = "tie";
+  return report;
+}
+
+void write_pipeline_report_json(std::ostream& out,
+                                const PipelineReport& report) {
+  out << "{\n"
+      << "  \"schema_version\": " << report.schema_version << ",\n"
+      << "  \"kind\": \"pipeline_report\",\n"
+      << "  \"wall_ms\": " << json_number(report.wall_ms) << ",\n"
+      << "  \"truncated\": " << (report.truncated ? "true" : "false")
+      << ",\n  \"lanes\": [";
+  bool first = true;
+  for (const LaneStat& lane : report.lanes) {
+    out << (first ? "\n" : ",\n") << "    {\"tid\": " << lane.tid
+        << ", \"name\": \"" << json_escape(lane.name)
+        << "\", \"busy_ms\": " << json_number(lane.busy_ms)
+        << ", \"utilization\": " << json_number(lane.utilization)
+        << ", \"spans\": " << lane.spans << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n"
+      << "  \"stages\": {\n"
+      << "    \"aggregate_ms\": " << json_number(report.aggregate_ms)
+      << ",\n    \"apply_ms\": " << json_number(report.apply_ms)
+      << ",\n    \"flush_ms\": " << json_number(report.flush_ms)
+      << ",\n    \"windows_aggregated\": " << report.windows_aggregated
+      << ",\n    \"windows_applied\": " << report.windows_applied
+      << "\n  },\n"
+      << "  \"stalls\": {\n"
+      << "    \"backpressure_ms\": " << json_number(report.backpressure_ms)
+      << ",\n    \"backpressure_count\": " << report.backpressure_count
+      << ",\n    \"prefetch_ms\": " << json_number(report.prefetch_ms)
+      << ",\n    \"prefetch_count\": " << report.prefetch_count
+      << "\n  },\n"
+      << "  \"overlap\": {\n"
+      << "    \"overlap_ms\": " << json_number(report.overlap_ms)
+      << ",\n    \"overlap_fraction\": "
+      << json_number(report.overlap_fraction) << "\n  },\n"
+      << "  \"critical_path\": {\n"
+      << "    \"bottleneck\": \"" << json_escape(report.bottleneck)
+      << "\",\n    \"prefetch_fraction\": "
+      << json_number(report.prefetch_fraction)
+      << ",\n    \"backpressure_fraction\": "
+      << json_number(report.backpressure_fraction) << "\n  },\n"
+      << "  \"verdict\": {\n"
+      << "    \"serial_estimate_ms\": "
+      << json_number(report.serial_estimate_ms)
+      << ",\n    \"pipelined_wall_ms\": " << json_number(report.wall_ms)
+      << ",\n    \"speedup\": " << json_number(report.speedup)
+      << ",\n    \"recommendation\": \""
+      << json_escape(report.recommendation) << "\"\n  }\n}\n";
+}
+
+}  // namespace ethshard::obs

@@ -1,0 +1,117 @@
+// Offline analysis of our own Chrome trace-event files.
+//
+// tools/trace_report feeds a --trace-out file through this module to
+// answer "why is the pipeline not winning" mechanically: how much of
+// Stage A's aggregation actually overlapped Stage B's apply/flush, where
+// the stall time went (producer backpressure vs consumer prefetch), and
+// whether the measured run would have been faster serial.
+//
+// The parser is a strict line-level scanner over the format obs/export
+// writes (one event object per line), not a general JSON parser — the
+// repo deliberately has no JSON dependency, and every trace this module
+// ingests is machine-written by write_trace_json. Malformed input throws
+// util::CheckFailure.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ethshard::obs {
+
+/// One event lifted out of the trace JSON. `ph` is the Chrome phase
+/// ('X' duration, 'C' counter, 'M' metadata, 'i' instant).
+struct TraceEvent {
+  std::string name;
+  char ph = '\0';
+  double ts_ms = 0;
+  double dur_ms = 0;
+  std::uint64_t tid = 0;
+  /// "C" events: the sampled value. "M" thread_name events: unused.
+  double value = 0;
+  /// "M" events: args.name (the lane label).
+  std::string arg_name;
+};
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+  /// tid -> lane label, from thread_name metadata.
+  std::map<std::uint64_t, std::string> lanes;
+  /// True when a trace_truncated instant was present.
+  bool truncated = false;
+};
+
+/// Parses a write_trace_json file. Throws util::CheckFailure when the
+/// container or any event is malformed (missing traceEvents, an event
+/// without name/ph, an X event without ts/dur).
+ParsedTrace parse_chrome_trace(const std::string& json_text);
+
+/// Per-lane activity over the pipeline window.
+struct LaneStat {
+  std::uint64_t tid = 0;
+  std::string name;
+  /// Union of this lane's productive (non-stall) span intervals, ms.
+  double busy_ms = 0;
+  /// busy_ms / wall_ms.
+  double utilization = 0;
+  std::uint64_t spans = 0;
+};
+
+/// The trace_report payload. Schema v1; additions never bump the version
+/// (consumers must ignore unknown keys), removals/renames do.
+struct PipelineReport {
+  int schema_version = 1;
+  double wall_ms = 0;
+  bool truncated = false;
+  std::vector<LaneStat> lanes;
+
+  // Per-stage productive time (sums of pipeline/aggregate, pipeline/apply,
+  // pipeline/flush span durations) and window counts.
+  double aggregate_ms = 0;
+  double apply_ms = 0;
+  double flush_ms = 0;
+  std::uint64_t windows_aggregated = 0;
+  std::uint64_t windows_applied = 0;
+
+  // Stall attribution: producer blocked on a full queue (backpressure) vs
+  // consumer blocked on an empty one (prefetch).
+  double backpressure_ms = 0;
+  std::uint64_t backpressure_count = 0;
+  double prefetch_ms = 0;
+  std::uint64_t prefetch_count = 0;
+
+  // Overlap: time where Stage A aggregation and Stage B apply/flush ran
+  // concurrently, as a fraction of the smaller stage's busy time. 1.0 is
+  // a perfectly hidden Stage A; ~0 means the stages took turns and the
+  // pipeline bought nothing.
+  double overlap_ms = 0;
+  double overlap_fraction = 0;
+
+  // Critical-path decomposition: which side the wall clock is waiting on.
+  // aggregate-bound (consumer starved), apply-bound (producer blocked),
+  // queue-bound (both stall — capacity/burstiness), balanced, no-pipeline.
+  std::string bottleneck = "no-pipeline";
+  double prefetch_fraction = 0;
+  double backpressure_fraction = 0;
+
+  // Serial-vs-pipelined verdict: the serial estimate is the sum of both
+  // stages' productive time (what one thread doing everything would
+  // spend); speedup = estimate / measured wall.
+  double serial_estimate_ms = 0;
+  double speedup = 0;
+  std::string recommendation = "no-pipeline";
+};
+
+/// Computes the report from a parsed trace. A trace with no
+/// pipeline/aggregate or pipeline/apply spans yields bottleneck ==
+/// recommendation == "no-pipeline" with zeroed stage fields.
+PipelineReport analyze_pipeline_trace(const ParsedTrace& trace);
+
+/// Schema-versioned report JSON (one object; see PipelineReport).
+void write_pipeline_report_json(std::ostream& out,
+                                const PipelineReport& report);
+
+}  // namespace ethshard::obs

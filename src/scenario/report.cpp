@@ -98,7 +98,8 @@ void write_report_json(const Report& report, std::ostream& out) {
           << ", \"windows\": " << r.windows
           << ", \"interactions\": " << r.interactions
           << ", \"total_moves\": " << r.total_moves
-          << ", \"wall_ms\": " << fmt_double(r.wall_ms) << ",\n";
+          << ", \"wall_ms\": " << fmt_double(r.wall_ms)
+          << ", \"peak_rss_mb\": " << fmt_double(r.peak_rss_mb) << ",\n";
       out << "        \"invariants\": [";
       for (std::size_t m = 0; m < r.invariants.size(); ++m) {
         out << (m ? ",\n" : "\n");

@@ -14,7 +14,7 @@
 //      {"name": s, "file": s, "description": s, "pass": bool,
 //       "runs": [
 //         {"strategy": s, "pass": bool, "windows": N, "interactions": N,
-//          "total_moves": N, "wall_ms": f,
+//          "total_moves": N, "wall_ms": f, "peak_rss_mb": f,
 //          "invariants": [
 //            {"kind": s, "name": s, "pass": bool, "observed": f,
 //             "threshold": f, "window_start": n, "detail": s}, ...]},
@@ -43,6 +43,9 @@ struct StrategyRunReport {
   std::uint64_t interactions = 0;  ///< replayed interactions
   std::uint64_t total_moves = 0;
   double wall_ms = 0;  ///< wall-clock of the whole replay
+  /// Process RSS high-water mark over this run (util::reset_peak_rss
+  /// brackets it per run; 0 when the platform cannot measure it).
+  double peak_rss_mb = 0;
   std::vector<InvariantVerdict> invariants;
 
   bool pass() const {

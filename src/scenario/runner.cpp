@@ -11,6 +11,7 @@
 #include "core/telemetry.hpp"
 #include "scenario/invariants.hpp"
 #include "util/check.hpp"
+#include "util/mem.hpp"
 #include "workload/block_source.hpp"
 #include "workload/generator.hpp"
 
@@ -121,12 +122,16 @@ StrategyRunReport run_strategy(const Scenario& scenario,
   cfg.consumer = &set;
   cfg.replay_threads = build.replay_threads;
 
+  // Bracket the replay with a peak-RSS reset so the reported high-water
+  // mark is attributable to this (scenario, strategy) cell alone.
+  util::reset_peak_rss();
   const auto t0 = std::chrono::steady_clock::now();
   std::unique_ptr<workload::BlockSource> source = factory->open();
   core::ShardingSimulator sim(*source, *build.strategy, cfg);
   const core::SimulationResult result = sim.run();
   set.on_run_end(result);
   const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t peak_rss = util::peak_rss_bytes();
 
   StrategyRunReport run;
   run.strategy = spec;
@@ -137,6 +142,7 @@ StrategyRunReport run_strategy(const Scenario& scenario,
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
           t1 - t0)
           .count();
+  run.peak_rss_mb = static_cast<double>(peak_rss) / (1024.0 * 1024.0);
   run.invariants = set.verdicts();
   return run;
 }

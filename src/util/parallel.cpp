@@ -64,11 +64,13 @@ void parallel_for(std::size_t count,
   std::mutex error_mutex;
   std::atomic<bool> abort{false};
 
-  auto worker = [&] {
+  auto worker = [&](std::size_t worker_index) {
     // Wait = spawn latency: dispatch entry to this worker's first pull.
     // Run = the worker's whole busy stretch. One histogram sample each
     // per worker keeps the per-task loop free of clock queries.
     const auto worker_start = std::chrono::steady_clock::now();
+    if (tel != nullptr && tel->on_worker_start != nullptr)
+      tel->on_worker_start(worker_index);
     if (tel != nullptr)
       tel->record_hist(
           "pool/task_wait_ms",
@@ -99,7 +101,7 @@ void parallel_for(std::size_t count,
 
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   if (tel != nullptr) {
     tel->add_count("pool/dispatches", 1);

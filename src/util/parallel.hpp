@@ -39,6 +39,9 @@ std::size_t default_thread_count();
 struct ParallelTelemetryHooks {
   void (*record_hist)(const char* name, double value);
   void (*add_count)(const char* name, std::uint64_t delta);
+  /// Called once from each pool worker thread as it starts (the trace
+  /// layer names the worker's timeline lane from it). May be null.
+  void (*on_worker_start)(std::size_t worker_index);
 };
 
 /// Atomically installs (or, with nullptr, clears) the hook table.

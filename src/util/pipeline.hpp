@@ -16,6 +16,7 @@
 // simulator's hot path; tools/ci_sanitize.sh races it on every run).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,22 @@
 
 namespace ethshard::util {
 
+/// Profiling taps for one BoundedQueue. The obs layer links against util
+/// (not the other way round), so the simulator installs an obs-backed
+/// observer when tracing is on; with none installed the queue takes no
+/// clock readings and pays one pointer check per operation.
+///
+/// Callbacks fire on the pushing/popping thread, outside the queue lock,
+/// once per successfully transferred item; implementations must be
+/// thread-safe across the two sides. `depth` is the occupancy just after
+/// the operation (including/excluding the item, respectively); `wait_ms`
+/// is how long the caller blocked (0 when the queue had room / an item).
+struct QueueObserver {
+  virtual ~QueueObserver() = default;
+  virtual void on_push(std::size_t depth, double wait_ms) = 0;
+  virtual void on_pop(std::size_t depth, double wait_ms) = 0;
+};
+
 /// Blocking bounded FIFO between one producer and one consumer thread.
 /// (Multiple producers/consumers would be correct too; the simulator only
 /// needs 1:1.)
@@ -38,20 +55,29 @@ class BoundedQueue {
     ETHSHARD_CHECK_MSG(capacity_ > 0, "BoundedQueue needs capacity >= 1");
   }
 
+  /// Installs (or, with nullptr, removes) the profiling taps. Install
+  /// before the producer/consumer threads start; the observer must
+  /// outlive every push/pop made while installed.
+  void set_observer(QueueObserver* observer) { observer_ = observer; }
+
   /// Blocks while the queue is full. Returns false — dropping `value` —
   /// when the queue was closed (consumer gave up); the producer should
   /// stop producing.
   bool push(T value) {
+    double wait_ms = 0;
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.size() >= capacity_ && !closed_) {
       ++push_waits_;
-      not_full_.wait(lock,
-                     [&] { return items_.size() < capacity_ || closed_; });
+      wait_ms = timed_wait(lock, not_full_, [&] {
+        return items_.size() < capacity_ || closed_;
+      });
     }
     if (closed_) return false;
     items_.push_back(std::move(value));
+    const std::size_t depth = items_.size();
     lock.unlock();
     not_empty_.notify_one();
+    if (observer_ != nullptr) observer_->on_push(depth, wait_ms);
     return true;
   }
 
@@ -59,10 +85,13 @@ class BoundedQueue {
   /// std::nullopt once the queue is closed and drained. Rethrows the
   /// producer's exception (see fail) once the items before it are drained.
   std::optional<T> pop() {
+    double wait_ms = 0;
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty() && !closed_) {
       ++pop_waits_;
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      wait_ms =
+          timed_wait(lock, not_empty_,
+                     [&] { return !items_.empty() || closed_; });
     }
     if (items_.empty()) {
       if (error_) {
@@ -74,8 +103,10 @@ class BoundedQueue {
     }
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
+    const std::size_t depth = items_.size();
     lock.unlock();
     not_full_.notify_one();
+    if (observer_ != nullptr) observer_->on_pop(depth, wait_ms);
     return out;
   }
 
@@ -122,6 +153,22 @@ class BoundedQueue {
     std::rethrow_exception(err);
   }
 
+  /// Waits on `cv` until `ready`; reads the clock only when an observer
+  /// is installed, so unobserved queues keep the original wait path.
+  template <typename Pred>
+  double timed_wait(std::unique_lock<std::mutex>& lock,
+                    std::condition_variable& cv, Pred ready) {
+    if (observer_ == nullptr) {
+      cv.wait(lock, ready);
+      return 0;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    cv.wait(lock, ready);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
@@ -131,6 +178,7 @@ class BoundedQueue {
   std::exception_ptr error_;
   std::uint64_t push_waits_ = 0;
   std::uint64_t pop_waits_ = 0;
+  QueueObserver* observer_ = nullptr;
 };
 
 }  // namespace ethshard::util

@@ -1,0 +1,99 @@
+# End-to-end smoke of the pipeline profiler, run by ctest (tier2):
+#
+#   1. `ethshard simulate --replay-threads 2 --trace-out` must write a
+#      Chrome trace whose thread_name metadata names both pipeline lanes
+#      (that is what makes the Perfetto timeline readable),
+#   2. `trace_report` must ingest that trace and emit a schema-versioned
+#      report whose stage counts prove the pipeline actually ran.
+#
+# This is a schema/plumbing check, not a perf gate: the report's verdict
+# (pipelined vs serial) is workload- and host-dependent and deliberately
+# not asserted. Usage:
+#   cmake -DCLI=<ethshard> -DTRACE_REPORT=<trace_report> -DWORKDIR=<scratch>
+#         -P pipeline_profile.cmake
+
+if(NOT DEFINED CLI OR NOT DEFINED TRACE_REPORT OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR
+    "pipeline_profile.cmake needs -DCLI=..., -DTRACE_REPORT=... and "
+    "-DWORKDIR=...")
+endif()
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  message(FATAL_ERROR
+    "pipeline_profile.cmake needs cmake >= 3.19 (string(JSON))")
+endif()
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(trace "${WORKDIR}/pipeline.trace.json")
+set(report "${WORKDIR}/pipeline.report.json")
+file(REMOVE "${trace}" "${report}")
+
+# Small enough to finish in seconds, large enough that both stages record
+# a healthy number of windows.
+execute_process(
+  COMMAND ${CLI} simulate --preset paper --scale 0.02 --seed 5
+          --method Hashing --shards 4 --replay-threads 2
+          --trace-out ${trace}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traced simulate failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${trace}")
+  message(FATAL_ERROR "simulate wrote no trace file:\n${out}\n${err}")
+endif()
+
+# Both pipeline lanes must be named in the trace metadata.
+file(READ "${trace}" trace_text)
+foreach(lane "Stage A (aggregate)" "Stage B (apply+flush)")
+  string(FIND "${trace_text}" "${lane}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "trace is missing the '${lane}' lane metadata")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${TRACE_REPORT} --trace ${trace} --out ${report}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_report failed (rc=${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${report}")
+  message(FATAL_ERROR "trace_report wrote no report:\n${out}\n${err}")
+endif()
+
+file(READ "${report}" report_text)
+string(JSON schema ERROR_VARIABLE jerr GET "${report_text}" schema_version)
+if(NOT jerr STREQUAL "NOTFOUND" OR NOT schema EQUAL 1)
+  message(FATAL_ERROR
+    "unexpected report schema (version '${schema}', error '${jerr}')")
+endif()
+string(JSON kind GET "${report_text}" kind)
+if(NOT kind STREQUAL "pipeline_report")
+  message(FATAL_ERROR "expected kind 'pipeline_report', got '${kind}'")
+endif()
+
+# The overlap/verdict machinery must have engaged on real pipeline spans.
+string(JSON overlap ERROR_VARIABLE jerr
+  GET "${report_text}" overlap overlap_fraction)
+if(NOT jerr STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "report has no overlap.overlap_fraction: ${jerr}")
+endif()
+string(JSON applied GET "${report_text}" stages windows_applied)
+string(JSON aggregated GET "${report_text}" stages windows_aggregated)
+if(applied EQUAL 0 OR aggregated EQUAL 0)
+  message(FATAL_ERROR
+    "report saw no pipeline windows (aggregated=${aggregated}, "
+    "applied=${applied}) — the simulator instrumentation is dark")
+endif()
+string(JSON verdict GET "${report_text}" verdict recommendation)
+if(verdict STREQUAL "no-pipeline")
+  message(FATAL_ERROR
+    "trace of a --replay-threads 2 run analyzed as no-pipeline")
+endif()
+
+message(STATUS
+  "pipeline profile smoke passed: ${aggregated} windows aggregated, "
+  "${applied} applied, overlap_fraction ${overlap}, verdict ${verdict}")

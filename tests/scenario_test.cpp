@@ -350,6 +350,8 @@ TEST(Report, JsonCarriesTotalsAndPassFlag) {
   bad.pass = false;
   bad.detail = "too many moves";
   run.invariants = {good, bad};
+  run.wall_ms = 12.5;
+  run.peak_rss_mb = 48.25;
 
   EXPECT_FALSE(report.pass());
   const std::string json = report_json(report);
@@ -359,6 +361,10 @@ TEST(Report, JsonCarriesTotalsAndPassFlag) {
   EXPECT_NE(json.find("\"invariant_kinds\": [\"balance\", \"churn\"]"),
             std::string::npos);
   EXPECT_NE(json.find("too many moves"), std::string::npos);
+  // Every run cell carries its cost: wall time and the RSS high-water
+  // mark, so a regression is attributable without rerunning.
+  EXPECT_NE(json.find("\"wall_ms\": 12.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_mb\": 48.250000"), std::string::npos);
 }
 
 // --- runner golden-path mapping ----------------------------------------

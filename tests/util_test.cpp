@@ -5,13 +5,17 @@
 #include <set>
 #include <sstream>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "util/args.hpp"
 #include "util/check.hpp"
@@ -667,6 +671,90 @@ TEST(BoundedQueue, MoveOnlyPayloadsWork) {
   const auto v = q.pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 42);
+}
+
+// Records every callback so tests can assert on depths and wait times.
+struct RecordingObserver final : QueueObserver {
+  struct Event {
+    bool push = false;
+    std::size_t depth = 0;
+    double wait_ms = 0;
+  };
+  std::mutex mu;
+  std::vector<Event> events;
+  void on_push(std::size_t depth, double wait_ms) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    events.push_back({true, depth, wait_ms});
+  }
+  void on_pop(std::size_t depth, double wait_ms) override {
+    const std::lock_guard<std::mutex> lock(mu);
+    events.push_back({false, depth, wait_ms});
+  }
+};
+
+TEST(BoundedQueue, ObserverSeesDepthsWithoutWaitsWhenUncontended) {
+  BoundedQueue<int> q(4);
+  RecordingObserver obs;
+  q.set_observer(&obs);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);
+  ASSERT_EQ(obs.events.size(), 3u);
+  EXPECT_TRUE(obs.events[0].push);
+  EXPECT_EQ(obs.events[0].depth, 1u);
+  EXPECT_EQ(obs.events[1].depth, 2u);
+  EXPECT_FALSE(obs.events[2].push);
+  EXPECT_EQ(obs.events[2].depth, 1u);
+  for (const RecordingObserver::Event& e : obs.events)
+    EXPECT_DOUBLE_EQ(e.wait_ms, 0.0);  // nobody blocked
+}
+
+TEST(BoundedQueue, ObserverAttributesProducerBackpressureWait) {
+  BoundedQueue<int> q(1);  // full after one item
+  RecordingObserver obs;
+  q.set_observer(&obs);
+  EXPECT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.push(2)); });
+  // Hold the queue full long enough that the producer measurably blocks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(q.pop(), 1);
+  producer.join();
+  EXPECT_EQ(q.pop(), 2);
+
+  double blocked_push_ms = 0;
+  for (const RecordingObserver::Event& e : obs.events) {
+    EXPECT_LE(e.depth, 1u);  // depth never exceeds capacity
+    if (e.push) blocked_push_ms = std::max(blocked_push_ms, e.wait_ms);
+  }
+  EXPECT_GT(blocked_push_ms, 5.0);
+}
+
+TEST(BoundedQueue, ObserverAttributesConsumerPrefetchWait) {
+  BoundedQueue<int> q(2);
+  RecordingObserver obs;
+  q.set_observer(&obs);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(q.push(7));
+    q.close();
+  });
+  EXPECT_EQ(q.pop(), 7);  // blocks until the delayed producer delivers
+  producer.join();
+
+  double blocked_pop_ms = 0;
+  for (const RecordingObserver::Event& e : obs.events)
+    if (!e.push) blocked_pop_ms = std::max(blocked_pop_ms, e.wait_ms);
+  EXPECT_GT(blocked_pop_ms, 5.0);
+}
+
+TEST(BoundedQueue, ObserverSilentWhenDetached) {
+  BoundedQueue<int> q(2);
+  RecordingObserver obs;
+  q.set_observer(&obs);
+  q.set_observer(nullptr);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(obs.events.empty());
 }
 
 }  // namespace

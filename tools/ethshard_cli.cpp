@@ -130,7 +130,13 @@ int usage() {
       "                       histograms on exit — JSON, or CSV when PATH\n"
       "                       ends in .csv\n"
       "  --trace-out PATH     enable tracing; write Chrome trace-event\n"
-      "                       JSON (chrome://tracing, Perfetto) on exit\n");
+      "                       JSON (chrome://tracing, Perfetto) on exit —\n"
+      "                       with --replay-threads >= 2 the pipeline's\n"
+      "                       Stage A/Stage B lanes, stall spans and\n"
+      "                       queue-depth tracks are included (feed the\n"
+      "                       file to tools/trace_report)\n"
+      "  --trace-max-spans N  span/counter buffer cap (default ~1M);\n"
+      "                       overflow truncates the trace and warns\n");
   return 2;
 }
 
@@ -595,6 +601,15 @@ int main(int argc, char** argv) {
     const std::string trace_out = args.get("trace-out", "");
     if (!metrics_out.empty()) obs::set_enabled(true);
     if (!trace_out.empty()) obs::set_trace_enabled(true);
+    // --trace-max-spans caps the span/counter buffers (0 = unlimited);
+    // useful to bound a long profiling run's memory, or to force the
+    // truncation path when testing it.
+    if (const std::uint64_t cap =
+            args.get_uint("trace-max-spans",
+                          obs::TraceBuffer::kDefaultMaxSpans);
+        cap != obs::TraceBuffer::kDefaultMaxSpans)
+      obs::TraceBuffer::global().set_max_spans(
+          static_cast<std::size_t>(cap));
 
     // --threads is accepted by every subcommand (commands that have no
     // parallel phase simply ignore it); validate it once, up front.
@@ -651,9 +666,18 @@ int main(int argc, char** argv) {
                    metrics_out.c_str());
     }
     if (!trace_out.empty()) {
-      obs::write_trace_json_file(trace_out,
-                                 obs::TraceBuffer::global().snapshot());
+      const obs::TraceSnapshot trace =
+          obs::TraceBuffer::global().trace_snapshot();
+      obs::write_trace_json_file(trace_out, trace);
       std::fprintf(stderr, "[ethshard] trace -> %s\n", trace_out.c_str());
+      if (trace.dropped_spans > 0 || trace.dropped_counters > 0)
+        std::fprintf(stderr,
+                     "[ethshard] warning: trace truncated — %llu spans / "
+                     "%llu counter samples dropped (raise "
+                     "--trace-max-spans)\n",
+                     static_cast<unsigned long long>(trace.dropped_spans),
+                     static_cast<unsigned long long>(
+                         trace.dropped_counters));
     }
     // --max-rss-mb: a memory budget over the whole command. Checked
     // against the kernel's process high-water mark, so nothing the run
@@ -676,6 +700,7 @@ int main(int argc, char** argv) {
         sc.description = "ethshard " + command + " resource verdict";
         scenario::StrategyRunReport& run = sc.runs.emplace_back();
         run.strategy = command;
+        run.peak_rss_mb = peak_mb;
         scenario::InvariantVerdict v;
         v.kind = "rss_budget";
         v.name = max_rss_mb > 0

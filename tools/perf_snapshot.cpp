@@ -13,7 +13,8 @@
 // flaky; --strict is for dedicated hardware).
 //
 // Snapshot schema (v1):
-//   {"schema_version": 1, "stamp": "...", "threads": N,
+//   {"schema_version": 1, "stamp": "...", "git_sha": "...",
+//    "hostname": "...", "threads": N, "replay_threads": N,
 //    "scale": F, "seed": N, "entries": [
 //      {"name": "...", "reps": N, "threads": N, "wall_ms": F,
 //       "p50_ms": F, "p99_ms": F, "peak_rss_mb": F}, ...]}
@@ -29,9 +30,12 @@
 //
 // Scale/seed/reps honour ETHSHARD_SCALE / ETHSHARD_SEED /
 // ETHSHARD_PERF_REPS, matching the bench harnesses.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <fstream>
@@ -113,6 +117,33 @@ std::string utc_stamp() {
   char buf[32];
   std::strftime(buf, sizeof(buf), "%Y%m%dT%H%M%SZ", &tm);
   return buf;
+}
+
+// Provenance for trajectory tooling: which commit and machine produced
+// the snapshot. ETHSHARD_GIT_SHA overrides (CI exports it from the
+// checkout); otherwise ask git, and degrade to "unknown" outside a work
+// tree — a snapshot must never fail over missing provenance.
+std::string git_sha() {
+  if (const char* sha = std::getenv("ETHSHARD_GIT_SHA")) return sha;
+  std::string sha = "unknown";
+  if (FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() &&
+             (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+      if (!line.empty()) sha = line;
+    }
+    pclose(pipe);
+  }
+  return sha;
+}
+
+std::string host_name() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? buf : "unknown";
 }
 
 int reps_from_env(int fallback) {
@@ -272,7 +303,10 @@ int cmd_run(const util::ArgParser& args) {
   out << "{\n"
       << "  \"schema_version\": 1,\n"
       << "  \"stamp\": \"" << stamp << "\",\n"
+      << "  \"git_sha\": \"" << git_sha() << "\",\n"
+      << "  \"hostname\": \"" << host_name() << "\",\n"
       << "  \"threads\": " << threads << ",\n"
+      << "  \"replay_threads\": " << auto_replay << ",\n"
       << "  \"scale\": " << fmt(scale) << ",\n"
       << "  \"seed\": " << seed << ",\n"
       << "  \"entries\": [\n";
