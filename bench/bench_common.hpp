@@ -69,6 +69,8 @@ inline core::SimulationResult simulate(const workload::History& history,
   core::SimulatorConfig cfg;
   cfg.k = k;
   cfg.replay_threads = build.replay_threads;
+  cfg.queue_capacity = build.queue_capacity;
+  cfg.aggregation_shards = build.aggregation_shards;
   core::ShardingSimulator sim(history, *build.strategy, cfg);
   return sim.run();
 }

@@ -550,15 +550,21 @@ void ShardingSimulator::apply_window_table(const WindowTable& table) {
   // mentions was placed above (its first-ever transaction is a placement
   // record at or before this window), and no shard changes until the
   // flush, so counting after all placements reproduces the per-call
-  // sums exactly (integer accumulators, order-independent).
-  const bool gas_model = cfg_.load_model == LoadModel::kGas;
-  for (const VertexWindowLoad& vl : table.loads) {
-    const graph::Weight load = gas_model ? vl.gas : vl.calls;
-    const partition::ShardId s = part_.shard_of(vl.v);
+  // sums exactly (integer accumulators, order-independent). The LoadModel
+  // dispatch is hoisted to a column pick: the loop touches the table's
+  // vertex column plus exactly one weight column, branch-free.
+  const std::vector<graph::Weight>& loads = cfg_.load_model == LoadModel::kGas
+                                                ? table.load_gas
+                                                : table.load_calls;
+  const std::size_t load_count = table.load_vertices.size();
+  for (std::size_t i = 0; i < load_count; ++i) {
+    const graph::Vertex v = table.load_vertices[i];
+    const graph::Weight load = loads[i];
+    const partition::ShardId s = part_.shard_of(v);
     window_metrics_.record_activity(s, load);
-    activity_[vl.v] += load;
+    activity_[v] += load;
     shard_loads_[s] += load;
-    window_.add_vertex_weight(vl.v, load);
+    window_.add_vertex_weight(v, load);
   }
 
   if (table.self_calls > 0)
@@ -580,22 +586,52 @@ void ShardingSimulator::apply_window_table(const WindowTable& table) {
 
   // Bulk graph apply: one hash probe per distinct pair, with the static
   // cut attributed per new undirected edge against the (fixed) endpoint
-  // shards — the same classification serial replay made call by call.
-  cumulative_.apply_pair_deltas(
-      table.pairs, [&](graph::Vertex u, graph::Vertex v) {
-        ++distinct_edges_;
-        if (part_.shard_of(u) != part_.shard_of(v)) ++cut_edges_;
-      });
-  window_.apply_pair_deltas(table.pairs,
-                            [](graph::Vertex, graph::Vertex) {});
+  // shards — the same classification serial replay made call by call,
+  // batched: the apply collects the new pairs' indices and the cut test
+  // runs over just those in its own loop.
+  cumulative_.apply_pair_deltas(table.pairs, &new_pair_scratch_);
+  distinct_edges_ += new_pair_scratch_.size();
+  for (const std::uint32_t i : new_pair_scratch_) {
+    const graph::PairDelta& pd = table.pairs[i];
+    if (part_.shard_of(pd.u) != part_.shard_of(pd.v)) ++cut_edges_;
+  }
+  window_.apply_pair_deltas(table.pairs);
 }
 
-void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
-  // One aggregator thread feeds this one; replay budget beyond 2 deepens
-  // the prefetch queue, letting aggregation run further ahead across
-  // cheap windows before a flush-heavy one stalls the consumer.
-  util::BoundedQueue<WindowTable> queue(replay_threads);
+void ShardingSimulator::run_pipelined(std::size_t replay_threads,
+                                      bool auto_probe) {
+  // One aggregator thread feeds this one over an SPSC queue deep enough
+  // for aggregation to run ahead across cheap windows while a
+  // flush-heavy one stalls the consumer (queue_capacity= right-sizes
+  // it; depth changes speed, never results).
+  const std::size_t capacity =
+      cfg_.queue_capacity != 0 ? cfg_.queue_capacity
+                               : std::max<std::size_t>(replay_threads, 8);
+  util::BoundedQueue<WindowTable> queue(capacity);
   std::uint64_t windows_pushed = 0;  // producer-written, read after join
+
+  // Auto-fallback handshake: when the probe decides the pipeline cannot
+  // win, the consumer raises `stop_pipeline`, keeps draining (so no
+  // aggregated table is dropped), and the producer exits at the next
+  // window boundary after recording where serial replay must resume.
+  std::atomic<bool> stop_pipeline{false};
+  // Materialized path: first block index Stage A did NOT aggregate.
+  // Plain (non-atomic) because it is written before queue.close() and
+  // read after producer.join().
+  std::size_t resume_block = 0;
+
+  const eth::Chain* chain = source_->materialized_chain();
+  std::span<const eth::Block> block_span;
+  std::vector<workload::WindowSpan> spans;
+  if (chain != nullptr) {
+    const auto& blocks = chain->blocks();
+    block_span = {blocks.data(), blocks.size()};
+    spans = workload::window_spans(block_span, cfg_.metric_window);
+  }
+  // Streaming path: on early stop the binner still holds the partially
+  // binned window; declared out here so the serial resume can finish it
+  // after the join.
+  workload::WindowBinner binner(cfg_.metric_window);
 
 #if ETHSHARD_OBS_ENABLED
   // Pipeline profiling taps: stall intervals as retroactive spans, queue
@@ -645,16 +681,20 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
 #if ETHSHARD_OBS_ENABLED
       obs::set_current_thread_lane("Stage A (aggregate)");
 #endif
-      WindowAggregator aggregator;
-      if (const eth::Chain* chain = source_->materialized_chain()) {
-        // Whole chain in memory: bin it up front and aggregate window
-        // spans in place (no block copies).
-        const auto& blocks = chain->blocks();
-        const std::span<const eth::Block> block_span{blocks.data(),
-                                                     blocks.size()};
-        const std::vector<workload::WindowSpan> spans =
-            workload::window_spans(block_span, cfg_.metric_window);
+      const std::size_t agg_shards =
+          cfg_.aggregation_shards != 0
+              ? cfg_.aggregation_shards
+              : std::min<std::size_t>(util::default_thread_count(), 4);
+      WindowAggregator aggregator(agg_shards);
+      if (chain != nullptr) {
+        // Whole chain in memory: the spans were binned up front;
+        // aggregate them in place (no block copies).
         for (const workload::WindowSpan& span : spans) {
+          if (stop_pipeline.load(std::memory_order_acquire)) {
+            resume_block = span.block_begin;
+            queue.close();
+            return;
+          }
           WindowTable table;
           {
             ETHSHARD_OBS_SPAN("pipeline/aggregate");
@@ -663,24 +703,30 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
           ++windows_pushed;
           if (!queue.push(std::move(table))) return;  // consumer bailed
         }
+        resume_block = block_span.size();
       } else {
         // Streaming: pull blocks one at a time, hold only the window
         // being binned, aggregate each as it completes. The source is
-        // touched exclusively by this thread.
-        workload::WindowBinner binner(cfg_.metric_window);
+        // touched exclusively by this thread (until a fallback joins it).
         workload::BinnedWindow window;
         eth::Block block;
         auto aggregate_traced = [&](const workload::BinnedWindow& w) {
           ETHSHARD_OBS_SPAN("pipeline/aggregate");
           return aggregator.aggregate(w);
         };
-        while (source_->next(block)) {
+        bool stopped = false;
+        while (true) {
+          if (stop_pipeline.load(std::memory_order_acquire)) {
+            stopped = true;  // partial window stays in the binner
+            break;
+          }
+          if (!source_->next(block)) break;
           if (binner.push(std::move(block), window)) {
             ++windows_pushed;
             if (!queue.push(aggregate_traced(window))) return;
           }
         }
-        if (binner.finish(window)) {
+        if (!stopped && binner.finish(window)) {
           ++windows_pushed;
           if (!queue.push(aggregate_traced(window))) return;
         }
@@ -691,12 +737,49 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
     }
   });
 
+  bool fell_back = false;
   try {
+    const auto pipeline_start = std::chrono::steady_clock::now();
+    double staged_ms = 0;
+    std::uint64_t probed = 0;
+    bool decided = !auto_probe || cfg_.auto_probe_windows == 0;
     while (std::optional<WindowTable> table = queue.pop()) {
+      const double apply_cpu0 = decided ? 0 : util::thread_cpu_ms();
       // The first block of this span is what would have triggered the
       // pending flushes in serial replay; align now_ before advancing.
       begin_step(table->first_block_ts);
       apply_window_table(*table);
+      if (!decided) {
+        // Serial estimate for the windows seen so far: what one thread
+        // would have spent on aggregate + apply + flush back to back —
+        // the same model tools/trace_report scores a finished trace
+        // with, measured live instead. Both terms are CPU time, not
+        // wall time: when producer and consumer share cores (the exact
+        // case the fallback exists for), preemption inflates each
+        // stage's wall clock until the "serial estimate" is as slow as
+        // the struggling pipeline itself and the probe can never fire.
+        // CPU time only counts work actually done, so the estimate
+        // stays honest on any core count.
+        staged_ms += table->aggregate_cpu_ms +
+                     (util::thread_cpu_ms() - apply_cpu0);
+        if (++probed >= cfg_.auto_probe_windows) {
+          decided = true;
+          const double wall_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - pipeline_start)
+                  .count();
+          ETHSHARD_OBS_GAUGE("sim/pipeline_probe_speedup",
+                             wall_ms > 0 ? staged_ms / wall_ms : 0.0);
+          if (staged_ms < cfg_.auto_min_speedup * wall_ms) {
+            // The pipeline is not beating the serial estimate by the
+            // required margin: stop the producer at its next window
+            // boundary and finish the history serially. Tables already
+            // aggregated keep flowing — nothing is dropped or redone.
+            fell_back = true;
+            stop_pipeline.store(true, std::memory_order_release);
+          }
+        }
+      }
     }
   } catch (...) {
     queue.close();
@@ -708,6 +791,33 @@ void ShardingSimulator::run_pipelined(std::size_t replay_threads) {
   ETHSHARD_OBS_COUNT("sim/pipeline_prefetch_stalls", queue.pop_waits());
   ETHSHARD_OBS_COUNT("sim/pipeline_backpressure_stalls",
                      queue.push_waits());
+  if (!fell_back) return;
+
+  // Serial resume after a measured fallback. Everything Stage A
+  // aggregated has been applied above; replay the rest through the
+  // per-call reference path, exactly as if the run had been serial from
+  // the first un-aggregated block onward.
+  ETHSHARD_OBS_COUNT("sim/pipeline_auto_fallbacks", 1);
+  if (chain != nullptr) {
+    for (std::size_t b = resume_block; b < block_span.size(); ++b) {
+      const eth::Block& block = block_span[b];
+      begin_step(block.timestamp);
+      for (const eth::Transaction& tx : block.transactions)
+        process_transaction(tx);
+    }
+  } else {
+    // The producer stopped mid-bin: finish the partial window it left in
+    // the binner, then drain whatever is still in the source.
+    workload::BinnedWindow partial;
+    if (binner.finish(partial)) {
+      for (const eth::Block& block : partial.blocks) {
+        begin_step(block.timestamp);
+        for (const eth::Transaction& tx : block.transactions)
+          process_transaction(tx);
+      }
+    }
+    run_serial();
+  }
 }
 
 SimulationResult ShardingSimulator::run() {
@@ -718,11 +828,21 @@ SimulationResult ShardingSimulator::run() {
   result_.strategy_name = strategy_.name();
   result_.k = cfg_.k;
 
-  const std::size_t replay_threads = cfg_.replay_threads == 0
-                                         ? util::default_thread_count()
-                                         : cfg_.replay_threads;
+  // 0 = auto: start pipelined and let the measured probe decide whether
+  // the pipeline stays, falling back to serial mid-run when it cannot
+  // win. The one hardware guess auto does make is the degenerate one:
+  // with fewer than 2 hardware threads the producer and consumer would
+  // only time-slice a single core, so even the probe's few pipelined
+  // windows are pure loss and auto resolves straight to serial.
+  const bool auto_replay = cfg_.replay_threads == 0;
+  const std::size_t auto_hw = cfg_.auto_hw_override != 0
+                                  ? cfg_.auto_hw_override
+                                  : util::default_thread_count();
+  const std::size_t replay_threads =
+      auto_replay ? (auto_hw < 2 ? 1 : std::max<std::size_t>(2, auto_hw))
+                  : cfg_.replay_threads;
   if (replay_threads >= 2 && strategy_.supports_batched_replay())
-    run_pipelined(replay_threads);
+    run_pipelined(replay_threads, auto_replay);
   else
     run_serial();
 

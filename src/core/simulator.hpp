@@ -69,14 +69,45 @@ struct SimulatorConfig {
   /// with the cache). Aborts on divergence. O(E) per window — for tests.
   bool verify_incremental = false;
   /// Replay pipelining (the two-stage batched window replay; DESIGN.md
-  /// §6d). 0 = auto (hardware thread count), 1 = serial per-call replay,
-  /// >= 2 = pipelined: one background worker aggregates window W+1 while
-  /// the simulator applies and flushes window W. There is always exactly
-  /// one aggregator thread — values beyond 2 only deepen the prefetch
-  /// queue (more windows buffered ahead). The result is bit-identical
+  /// §6d). 0 = auto: on hosts with >= 2 hardware threads, start
+  /// pipelined and run a short measured probe (see auto_probe_windows),
+  /// falling back to serial mid-run when the pipeline cannot beat the
+  /// serial estimate; on single-core hosts, resolve straight to serial
+  /// — so auto is never slower than serial beyond the probe itself. 1 = serial per-call replay,
+  /// >= 2 = pipelined unconditionally: one background worker aggregates
+  /// window W+1 while the simulator applies and flushes window W. There
+  /// is always exactly one aggregator thread. The result is bit-identical
   /// across every value for strategies declaring
   /// supports_batched_replay(); all others silently use the serial path.
   std::size_t replay_threads = 0;
+  /// Capacity of the SPSC window-table queue between the stages (spec
+  /// key queue_capacity=). 0 derives max(replay_threads, 8) — deep
+  /// enough that aggregation keeps running ahead across cheap windows
+  /// while a flush-heavy one stalls the consumer. Affects speed only.
+  std::size_t queue_capacity = 0;
+  /// Stage A sub-ranges per window (spec key agg_shards=): each window's
+  /// block span splits into this many contiguous sub-ranges aggregated
+  /// in parallel and merged deterministically. 0 = auto (hardware thread
+  /// count, capped at 4), 1 = unsharded. The WindowTable — and therefore
+  /// the simulation result — is bit-identical for every value.
+  std::size_t aggregation_shards = 0;
+  /// replay_threads == 0 only: number of pipelined windows the measured
+  /// probe covers before deciding pipelined-vs-serial. 0 disables the
+  /// probe (auto then always stays pipelined).
+  std::size_t auto_probe_windows = 24;
+  /// replay_threads == 0 only: minimum (serial estimate) / (pipelined
+  /// wall) ratio the probe must measure for the pipeline to keep
+  /// running — the same serial_estimate = aggregate + apply + flush
+  /// model and 1.05 threshold obs::analyze_pipeline_trace uses for its
+  /// recommendation.
+  double auto_min_speedup = 1.05;
+  /// replay_threads == 0 only: hardware thread count auto assumes when
+  /// deciding whether pipelining can win at all (0 = detect). On a host
+  /// with fewer than 2 hardware threads auto resolves straight to serial
+  /// — producer and consumer would only time-slice one core, so even the
+  /// probe's ~24 pipelined windows are pure loss. Tests set this to >= 2
+  /// to exercise the probe path on single-core runners.
+  std::size_t auto_hw_override = 0;
 };
 
 /// One metric sample (a data point in Fig. 3).
@@ -178,8 +209,12 @@ class ShardingSimulator {
   /// Two-stage pipelined replay: a producer thread aggregates windows
   /// (core::WindowAggregator) into a bounded queue; this thread replays
   /// placements and bulk-applies each table. Bit-identical to run_serial
-  /// for strategies that declare supports_batched_replay().
-  void run_pipelined(std::size_t replay_threads);
+  /// for strategies that declare supports_batched_replay(). With
+  /// `auto_probe` (replay_threads == 0), the consumer measures the first
+  /// auto_probe_windows tables and, when the pipeline cannot beat the
+  /// serial estimate, stops the producer at a window boundary, drains
+  /// the queue, and finishes the history through the serial path.
+  void run_pipelined(std::size_t replay_threads, bool auto_probe);
   /// Lazy window-clock start + per-block window advance: the first
   /// block/table anchors window_start_ (a streaming source only reveals
   /// its first timestamp at the first pull); afterwards flushes every
@@ -273,6 +308,10 @@ class ShardingSimulator {
   std::vector<std::uint64_t> involved_stamp_;
   std::uint64_t involved_epoch_ = 0;
   std::vector<partition::ShardId> peers_scratch_;
+  // Indices of a window table's new undirected pairs, collected by the
+  // bulk apply so the cut classification runs as its own tight loop
+  // (reused every window).
+  std::vector<std::uint32_t> new_pair_scratch_;
 
   metrics::WindowAccumulator window_metrics_;
   util::Timestamp now_ = 0;

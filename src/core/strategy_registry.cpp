@@ -273,13 +273,34 @@ StrategyBuild StrategyRegistry::make_build(
   // Simulator-level keys are consumed before the factory runs, so every
   // registered strategy accepts them and finish() stays strict about
   // genuinely unknown keys.
-  build.replay_threads = static_cast<std::size_t>(
-      reader.get_uint("replay_threads", 0));
+  // "auto" spells the measured-probe mode (the 0 default) readably.
+  if (reader.get_string("replay_threads", "0") == "auto")
+    build.replay_threads = 0;
+  else
+    build.replay_threads = static_cast<std::size_t>(
+        reader.get_uint("replay_threads", 0));
   ETHSHARD_CHECK_MSG(build.replay_threads <= 1024,
                      "strategy '" + parsed.name + "': replay_threads = " +
                          std::to_string(build.replay_threads) +
-                         " is not plausible — use 0 for hardware "
-                         "concurrency or 1 for serial replay");
+                         " is not plausible — use 0 (or 'auto') for the "
+                         "measured auto mode or 1 for serial replay");
+  build.queue_capacity = static_cast<std::size_t>(
+      reader.get_uint("queue_capacity", 0));
+  ETHSHARD_CHECK_MSG(
+      build.queue_capacity <= 65536,
+      "strategy '" + parsed.name + "': queue_capacity = " +
+          std::to_string(build.queue_capacity) +
+          " is not plausible — each slot buffers a whole window table");
+  if (reader.get_string("agg_shards", "0") == "auto")
+    build.aggregation_shards = 0;
+  else
+    build.aggregation_shards = static_cast<std::size_t>(
+        reader.get_uint("agg_shards", 0));
+  ETHSHARD_CHECK_MSG(build.aggregation_shards <= 64,
+                     "strategy '" + parsed.name + "': agg_shards = " +
+                         std::to_string(build.aggregation_shards) +
+                         " is not plausible — use 0 (or 'auto') for the "
+                         "hardware-derived default");
   build.strategy = factory(reader);
   ETHSHARD_CHECK_MSG(build.strategy != nullptr, "strategy factory for '" +
                                                     parsed.name +

@@ -84,9 +84,15 @@ class SpecReader {
 /// accepts them without factory changes.
 struct StrategyBuild {
   std::unique_ptr<ShardingStrategy> strategy;
-  /// From the spec's "replay_threads=" key; 0 (the SimulatorConfig
-  /// default) = auto when absent.
+  /// From the spec's "replay_threads=" key ("auto" or 0 = the measured
+  /// auto mode, the SimulatorConfig default when absent).
   std::size_t replay_threads = 0;
+  /// From "queue_capacity=": the pipeline's SPSC queue depth; 0 (absent)
+  /// = SimulatorConfig's derived default.
+  std::size_t queue_capacity = 0;
+  /// From "agg_shards=": Stage A sub-ranges per window; "auto" or 0
+  /// (absent) = SimulatorConfig's hardware-derived default.
+  std::size_t aggregation_shards = 0;
 };
 
 /// Open factory registry mapping names (plus aliases) to strategy

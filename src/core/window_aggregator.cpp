@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "eth/gas.hpp"
 #include "util/check.hpp"
+#include "util/mem.hpp"
+#include "util/parallel.hpp"
 
 namespace ethshard::core {
+
+WindowAggregator::WindowAggregator(std::size_t shards)
+    : shards_(std::max<std::size_t>(1, shards)) {}
 
 WindowTable WindowAggregator::aggregate(std::span<const eth::Block> blocks,
                                         const workload::WindowSpan& span) {
@@ -34,61 +40,104 @@ WindowTable WindowAggregator::aggregate_blocks(
   table.first_block_ts = window_blocks.front().timestamp;
   table.last_block_ts = window_blocks.back().timestamp;
 
-  pair_slot_.clear();
-  load_slot_.clear();
+  // Balanced contiguous split. Which boundaries are chosen cannot affect
+  // the output (the merge sums associatively and candidates keep trace
+  // order), so the split only has to be cheap.
+  const std::size_t s = std::min(shards_, window_blocks.size());
+  if (scratch_.size() < s) scratch_.resize(s);
+  if (scan_cpu_ms_.size() < s) scan_cpu_ms_.resize(s);
+  const std::size_t per = window_blocks.size() / s;
+  const std::size_t rem = window_blocks.size() % s;
+  // Per-shard CPU time (not wall): summed across shards plus the merge,
+  // this is what one thread doing the whole window would have spent —
+  // the serial-estimate input the auto probe needs, immune to the
+  // preemption inflation wall clocks suffer on oversubscribed hosts.
+  auto scan_one = [&](std::size_t i) {
+    const double cpu0 = util::thread_cpu_ms();
+    const std::size_t begin = i * per + std::min(i, rem);
+    const std::size_t end = begin + per + (i < rem ? 1 : 0);
+    scan_span(window_blocks.subspan(begin, end - begin), scratch_[i]);
+    scan_cpu_ms_[i] = util::thread_cpu_ms() - cpu0;
+  };
+  const std::size_t workers = std::min(s, util::default_thread_count());
+  if (workers > 1) {
+    util::parallel_for(s, scan_one, workers);
+  } else {
+    for (std::size_t i = 0; i < s; ++i) scan_one(i);
+  }
 
-  auto load_of = [&](graph::Vertex v) -> VertexWindowLoad& {
-    const auto [it, fresh] =
-        load_slot_.try_emplace(v, static_cast<std::uint32_t>(
-                                      table.loads.size()));
-    if (fresh) table.loads.push_back(VertexWindowLoad{v, 0, 0});
-    return table.loads[it->second];
+  const double merge_cpu0 = util::thread_cpu_ms();
+  merge_scratches(s, table);
+  table.aggregate_cpu_ms = util::thread_cpu_ms() - merge_cpu0;
+  for (std::size_t i = 0; i < s; ++i)
+    table.aggregate_cpu_ms += scan_cpu_ms_[i];
+
+  table.aggregate_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  return table;
+}
+
+void WindowAggregator::scan_span(std::span<const eth::Block> blocks,
+                                 ShardScratch& sc) const {
+  sc.pairs.clear();
+  sc.loads.clear();
+  sc.cand_vertices.clear();
+  sc.cands.clear();
+  sc.total_calls = 0;
+  sc.self_calls = 0;
+  sc.pair_slot.clear();
+  sc.load_slot.clear();
+
+  // Window-start snapshot bound: merge_scratches never shrinks seen_,
+  // and nothing resizes it while shard scans run, so reading it from
+  // several scan threads at once is safe.
+  const std::size_t seen_limit = seen_.size();
+
+  auto load_of = [&](graph::Vertex v) -> LocalLoad& {
+    const auto [slot, fresh] = sc.load_slot.try_emplace(
+        v, static_cast<std::uint32_t>(sc.loads.size()));
+    if (fresh) sc.loads.push_back(LocalLoad{v, 0, 0});
+    return sc.loads[slot];
   };
 
-  for (const eth::Block& block : window_blocks) {
+  for (const eth::Block& block : blocks) {
     for (const eth::Transaction& tx : block.transactions) {
       // Involved accounts in first-appearance order — the serial loop's
-      // std::find dedup, as O(1) epoch-stamped lookups.
-      ++tx_epoch_;
-      involved_.clear();
-      bool any_new = false;
+      // dedup, as O(1) flat-map probes. The transaction is a placement
+      // *candidate* iff any involved vertex was unseen at window start;
+      // whether it genuinely places anything (a vertex may first appear
+      // earlier in this same window) is decided by the sequential merge.
+      sc.tx_slot.clear();
+      bool maybe_new = false;
+      const std::size_t cand_begin = sc.cand_vertices.size();
       auto note = [&](graph::Vertex v) {
-        if (tx_stamp_.size() <= v) tx_stamp_.resize(v + 1, 0);
-        if (tx_stamp_[v] == tx_epoch_) return;
-        tx_stamp_[v] = tx_epoch_;
-        involved_.push_back(v);
-        if (seen_.size() <= v) seen_.resize(v + 1, false);
-        if (!seen_[v]) {
-          seen_[v] = true;
-          any_new = true;
-        }
+        if (!sc.tx_slot.try_emplace(v, 0).second) return;
+        sc.cand_vertices.push_back(v);
+        if (v >= seen_limit || !seen_[v]) maybe_new = true;
       };
       note(tx.sender);
       for (const eth::Call& c : tx.calls) {
         note(c.from);
         note(c.to);
       }
-
-      if (any_new) {
+      if (maybe_new) {
         PlacementRecord rec;
         rec.ts = block.timestamp;
-        rec.begin = static_cast<std::uint32_t>(
-            table.placement_vertices.size());
-        table.placement_vertices.insert(table.placement_vertices.end(),
-                                        involved_.begin(), involved_.end());
-        rec.end = static_cast<std::uint32_t>(
-            table.placement_vertices.size());
-        table.placements.push_back(rec);
+        rec.begin = static_cast<std::uint32_t>(cand_begin);
+        rec.end = static_cast<std::uint32_t>(sc.cand_vertices.size());
+        sc.cands.push_back(rec);
+      } else {
+        sc.cand_vertices.resize(cand_begin);
       }
 
       for (const eth::Call& c : tx.calls) {
         const graph::Vertex lo = std::min(c.from, c.to);
         const graph::Vertex hi = std::max(c.from, c.to);
-        const auto [it, fresh] = pair_slot_.try_emplace(
-            (lo << 32) | hi,
-            static_cast<std::uint32_t>(table.pairs.size()));
-        if (fresh) table.pairs.push_back(graph::PairDelta{lo, hi, 0, 0});
-        graph::PairDelta& pd = table.pairs[it->second];
+        const auto [slot, fresh] = sc.pair_slot.try_emplace(
+            (lo << 32) | hi, static_cast<std::uint32_t>(sc.pairs.size()));
+        if (fresh) sc.pairs.push_back(graph::PairDelta{lo, hi, 0, 0});
+        graph::PairDelta& pd = sc.pairs[slot];
         // Same orientation rule as GraphBuilder::add_edge: fwd is
         // lo→hi (and the full weight of a self-call).
         if (c.from == lo)
@@ -98,37 +147,125 @@ WindowTable WindowAggregator::aggregate_blocks(
 
         const graph::Weight gas_load =
             1 + eth::call_gas(c, /*callee_exists=*/true) / 1000;
-        VertexWindowLoad& from_load = load_of(c.from);
+        LocalLoad& from_load = load_of(c.from);
         ++from_load.calls;
         from_load.gas += gas_load;
         if (c.to != c.from) {
-          VertexWindowLoad& to_load = load_of(c.to);
+          LocalLoad& to_load = load_of(c.to);
           ++to_load.calls;
           to_load.gas += gas_load;
         } else {
-          ++table.self_calls;
+          ++sc.self_calls;
         }
-        ++table.total_calls;
+        ++sc.total_calls;
       }
     }
   }
 
-  // Canonical order: the table (and everything Stage B derives from it)
-  // must not depend on unordered_map iteration — sorting here keeps the
-  // bulk apply bit-identical run to run and mode to mode.
-  std::sort(table.pairs.begin(), table.pairs.end(),
+  // Canonical per-shard order: entries are unique within a shard, so
+  // sum-merging the sorted locals reproduces the whole-window dedup +
+  // sort bit for bit, for any shard count.
+  std::sort(sc.pairs.begin(), sc.pairs.end(),
             [](const graph::PairDelta& a, const graph::PairDelta& b) {
               return a.u != b.u ? a.u < b.u : a.v < b.v;
             });
-  std::sort(table.loads.begin(), table.loads.end(),
-            [](const VertexWindowLoad& a, const VertexWindowLoad& b) {
-              return a.v < b.v;
-            });
+  std::sort(sc.loads.begin(), sc.loads.end(),
+            [](const LocalLoad& a, const LocalLoad& b) { return a.v < b.v; });
+}
 
-  table.aggregate_ms = std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - wall_start)
-                           .count();
-  return table;
+void WindowAggregator::merge_scratches(std::size_t shard_count,
+                                       WindowTable& table) {
+  constexpr std::uint64_t kDone = std::numeric_limits<std::uint64_t>::max();
+
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    table.total_calls += scratch_[i].total_calls;
+    table.self_calls += scratch_[i].self_calls;
+  }
+
+  // Pairs: k-way merge of the sorted per-shard locals, summing entries
+  // with equal keys. Integer sums are associative, so the result equals
+  // the unsharded aggregation in both content and order.
+  merge_pos_.assign(shard_count, 0);
+  while (true) {
+    std::uint64_t best = kDone;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      const ShardScratch& sc = scratch_[i];
+      if (merge_pos_[i] >= sc.pairs.size()) continue;
+      const graph::PairDelta& pd = sc.pairs[merge_pos_[i]];
+      best = std::min(best, (pd.u << 32) | pd.v);
+    }
+    if (best == kDone) break;
+    graph::PairDelta out{best >> 32, best & 0xffffffffu, 0, 0};
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      const ShardScratch& sc = scratch_[i];
+      if (merge_pos_[i] >= sc.pairs.size()) continue;
+      const graph::PairDelta& pd = sc.pairs[merge_pos_[i]];
+      if (pd.u != out.u || pd.v != out.v) continue;
+      out.fwd += pd.fwd;
+      out.rev += pd.rev;
+      ++merge_pos_[i];
+    }
+    table.pairs.push_back(out);
+  }
+
+  // Loads: same merge keyed by vertex, written straight into the table's
+  // SoA columns.
+  merge_pos_.assign(shard_count, 0);
+  while (true) {
+    graph::Vertex best = kDone;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      const ShardScratch& sc = scratch_[i];
+      if (merge_pos_[i] >= sc.loads.size()) continue;
+      best = std::min(best, sc.loads[merge_pos_[i]].v);
+    }
+    if (best == kDone) break;
+    graph::Weight calls = 0;
+    graph::Weight gas = 0;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      ShardScratch& sc = scratch_[i];
+      if (merge_pos_[i] >= sc.loads.size()) continue;
+      const LocalLoad& ll = sc.loads[merge_pos_[i]];
+      if (ll.v != best) continue;
+      calls += ll.calls;
+      gas += ll.gas;
+      ++merge_pos_[i];
+    }
+    table.load_vertices.push_back(best);
+    table.load_calls.push_back(calls);
+    table.load_gas.push_back(gas);
+  }
+
+  // Placements: candidates carry every transaction whose involved set
+  // touches a vertex unseen at window start — a superset of the true
+  // placement set that is exact to filter sequentially, because a vertex
+  // absent from the snapshot is first introduced by the earliest
+  // candidate containing it. Shards hold contiguous sub-ranges in trace
+  // order, so walking them in shard order replays candidates exactly as
+  // the serial loop met them, against the live seen_ set.
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const ShardScratch& sc = scratch_[i];
+    for (const PlacementRecord& rec : sc.cands) {
+      bool any_new = false;
+      for (std::uint32_t j = rec.begin; j < rec.end; ++j) {
+        const graph::Vertex v = sc.cand_vertices[j];
+        if (seen_.size() <= v) seen_.resize(v + 1, false);
+        if (!seen_[v]) {
+          seen_[v] = true;
+          any_new = true;
+        }
+      }
+      if (!any_new) continue;
+      PlacementRecord out;
+      out.ts = rec.ts;
+      out.begin = static_cast<std::uint32_t>(table.placement_vertices.size());
+      table.placement_vertices.insert(
+          table.placement_vertices.end(),
+          sc.cand_vertices.begin() + rec.begin,
+          sc.cand_vertices.begin() + rec.end);
+      out.end = static_cast<std::uint32_t>(table.placement_vertices.size());
+      table.placements.push_back(out);
+    }
+  }
 }
 
 }  // namespace ethshard::core

@@ -18,6 +18,21 @@
 // while the simulator is still applying/flushing window W (see
 // SimulatorConfig::replay_threads).
 //
+// Sharded aggregation (SimulatorConfig::aggregation_shards, DESIGN.md
+// §6d): a window's block span splits into up to `shards` contiguous
+// sub-ranges that aggregate independently — in parallel when the
+// hardware allows — into per-shard scratch tables, which then merge
+// deterministically on the calling thread. Pair and load entries merge
+// by summing (associative integer accumulation over sorted locals, so
+// the k-way merge reproduces the unsharded sort exactly); placement
+// detection, which is inherently sequential, is handled by
+// over-approximation: each shard flags a transaction as a placement
+// *candidate* iff any involved vertex was unseen at window start (the
+// shared seen-set is read-only during the parallel phase), and the
+// sequential merge replays candidates in trace order against the live
+// seen-set, which reproduces serial first-appearance detection exactly.
+// The resulting table is therefore bit-identical for every shard count.
+//
 // Threading note: aggregate() runs on the pipeline's producer thread in
 // pipelined mode, whose thread-local observability registry may differ
 // from the simulation's (core/experiment.cpp scopes a registry per
@@ -27,27 +42,15 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "eth/chain.hpp"
 #include "graph/builder.hpp"
 #include "util/sim_time.hpp"
+#include "util/slot_map.hpp"
 #include "workload/windows.hpp"
 
 namespace ethshard::core {
-
-/// Activity accrued by one vertex over one window, under both load
-/// models (SimulatorConfig picks one; both are partition-independent, so
-/// the aggregation computes them side by side for free).
-struct VertexWindowLoad {
-  graph::Vertex v = 0;
-  /// Σ 1 per call the vertex participates in (LoadModel::kCalls); a
-  /// self-call counts once.
-  graph::Weight calls = 0;
-  /// Σ (1 + call_gas/1000) over the same calls (LoadModel::kGas).
-  graph::Weight gas = 0;
-};
 
 /// One transaction that introduces at least one never-seen vertex, with
 /// the deduplicated involved list (sender first, then call endpoints in
@@ -64,9 +67,9 @@ struct PlacementRecord {
 };
 
 /// The partition-independent digest of one metric window. All vectors
-/// are canonically sorted (pairs by (u, v), loads by v), so the table —
-/// and everything Stage B derives from it — is independent of hash-map
-/// iteration order.
+/// are canonically sorted (pairs by (u, v), loads by vertex), so the
+/// table — and everything Stage B derives from it — is independent of
+/// hash-map iteration order, shard count and thread interleaving.
 struct WindowTable {
   util::Timestamp window_start = 0;
   util::Timestamp first_block_ts = 0;
@@ -79,13 +82,30 @@ struct WindowTable {
   /// orientation (u <= v; self-loops carry their weight in fwd). A
   /// non-loop pair's serial interaction count is fwd + rev.
   std::vector<graph::PairDelta> pairs;
-  std::vector<VertexWindowLoad> loads;
+  /// Per-vertex window activity as three parallel columns sorted by
+  /// vertex: Stage B reads the vertex ids plus exactly one weight column
+  /// (picked once per window by LoadModel), so the load it never uses
+  /// stays out of the hot loop's cache lines.
+  std::vector<graph::Vertex> load_vertices;
+  /// Σ 1 per call the vertex participates in (LoadModel::kCalls); a
+  /// self-call counts once.
+  std::vector<graph::Weight> load_calls;
+  /// Σ (1 + call_gas/1000) over the same calls (LoadModel::kGas).
+  std::vector<graph::Weight> load_gas;
   /// Flat storage for the PlacementRecord ranges.
   std::vector<graph::Vertex> placement_vertices;
   std::vector<PlacementRecord> placements;
   /// Wall-clock cost of building this table (producer-side; recorded to
   /// obs by the consumer).
   double aggregate_ms = 0;
+  /// CPU cost of building this table: per-shard scan CPU summed across
+  /// shards plus the merge — what one thread doing the whole aggregation
+  /// would have spent. The auto probe's serial estimate uses this rather
+  /// than aggregate_ms because wall time is inflated by preemption when
+  /// producer and consumer share cores (0 when the platform lacks a
+  /// per-thread CPU clock, which reads as "serial is free" and biases
+  /// auto toward the safe serial fallback).
+  double aggregate_cpu_ms = 0;
 };
 
 /// Streaming aggregator. Windows must be fed in trace order through one
@@ -94,7 +114,11 @@ struct WindowTable {
 /// which is why the pipeline has exactly one producer.
 class WindowAggregator {
  public:
-  WindowAggregator() = default;
+  /// `shards` = maximum sub-ranges each window's block span splits into
+  /// (clamped to the window's block count; 0 behaves as 1). The table is
+  /// bit-identical for every value — shards only trade merge overhead
+  /// for parallel scan time.
+  explicit WindowAggregator(std::size_t shards = 1);
 
   /// Builds the table for one window span of `blocks` (the same span the
   /// simulator will apply). Spans must arrive in order, without gaps.
@@ -106,20 +130,53 @@ class WindowAggregator {
   WindowTable aggregate(const workload::BinnedWindow& window);
 
  private:
+  /// Per-vertex load entry local to one shard's scan; the merge writes
+  /// the final table's SoA columns, so only the scratch stays AoS (which
+  /// keeps the per-shard canonical sort a single std::sort).
+  struct LocalLoad {
+    graph::Vertex v = 0;
+    graph::Weight calls = 0;
+    graph::Weight gas = 0;
+  };
+
+  /// One sub-range's private aggregation state. Retained across windows
+  /// so the flat maps keep their capacity.
+  struct ShardScratch {
+    util::SlotMap pair_slot;  // packed (u << 32 | v), u <= v → pairs index
+    util::SlotMap load_slot;  // vertex → loads index
+    util::SlotMap tx_slot;    // per-transaction involved dedup
+    std::vector<graph::PairDelta> pairs;
+    std::vector<LocalLoad> loads;
+    /// Flat involved lists of the shard's placement candidates.
+    std::vector<graph::Vertex> cand_vertices;
+    std::vector<PlacementRecord> cands;
+    std::uint64_t total_calls = 0;
+    std::uint64_t self_calls = 0;
+  };
+
   WindowTable aggregate_blocks(std::span<const eth::Block> window_blocks,
                                util::Timestamp window_start);
 
-  /// packed (u << 32 | v), canonical u <= v → index into table.pairs.
-  std::unordered_map<std::uint64_t, std::uint32_t> pair_slot_;
-  /// vertex → index into table.loads.
-  std::unordered_map<std::uint64_t, std::uint32_t> load_slot_;
-  /// First-ever appearance across the whole history prefix.
+  /// Scans one contiguous sub-range into `sc`. Reads seen_ but never
+  /// writes it, so any number of scans may run concurrently.
+  void scan_span(std::span<const eth::Block> blocks, ShardScratch& sc) const;
+
+  /// Sequential deterministic merge of scratch_[0..shard_count) into
+  /// `table`: k-way sum-merge of sorted pairs/loads, candidate placement
+  /// filtering against (and update of) the live seen_ set.
+  void merge_scratches(std::size_t shard_count, WindowTable& table);
+
+  std::size_t shards_ = 1;
+  std::vector<ShardScratch> scratch_;
+  /// Per-shard scan CPU times for the window in flight (each slot is
+  /// written by exactly one scan, read after the parallel phase).
+  std::vector<double> scan_cpu_ms_;
+  /// First-ever appearance across the whole history prefix. Only
+  /// merge_scratches mutates it; scan_span reads it as the window-start
+  /// snapshot.
   std::vector<bool> seen_;
-  /// Per-transaction involved-dedup stamps (grown on demand, epoch-
-  /// stamped so no per-transaction clearing is needed).
-  std::vector<std::uint64_t> tx_stamp_;
-  std::uint64_t tx_epoch_ = 0;
-  std::vector<graph::Vertex> involved_;
+  /// k-way merge cursors (merge_scratches scratch).
+  std::vector<std::size_t> merge_pos_;
 };
 
 }  // namespace ethshard::core

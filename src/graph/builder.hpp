@@ -108,6 +108,38 @@ class GraphBuilder {
     }
   }
 
+  /// Batched form of the callback overload: indices (into `deltas`) of
+  /// the pairs that were new undirected edges are collected into
+  /// `new_undirected` (cleared first; pass nullptr when not needed), so
+  /// the caller can classify the — typically few — new pairs in its own
+  /// tight loop after the bulk apply instead of through a callback in the
+  /// middle of it. Same preconditions as above.
+  void apply_pair_deltas(std::span<const PairDelta> deltas,
+                         std::vector<std::uint32_t>* new_undirected = nullptr) {
+    if (new_undirected != nullptr) new_undirected->clear();
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+      const PairDelta& d = deltas[i];
+      ETHSHARD_CHECK(d.u <= d.v && d.v < vwgt_.size());
+      ETHSHARD_CHECK(d.fwd + d.rev > 0);
+      ETHSHARD_CHECK(d.u != d.v || d.rev == 0);
+      PairWeights& pw = pair_weight_[key(d.u, d.v)];
+      if (d.u != d.v && pw.fwd == 0 && pw.rev == 0) {
+        if (track_und_) {
+          und_[d.u].push_back(d.v);
+          und_[d.v].push_back(d.u);
+        }
+        ++num_und_edges_;
+        if (new_undirected != nullptr)
+          new_undirected->push_back(static_cast<std::uint32_t>(i));
+      }
+      if (d.fwd > 0 && pw.fwd == 0) ++num_dir_edges_;
+      if (d.rev > 0 && pw.rev == 0) ++num_dir_edges_;
+      pw.fwd += d.fwd;
+      pw.rev += d.rev;
+      total_edge_weight_ += d.fwd + d.rev;
+    }
+  }
+
   std::uint64_t num_vertices() const { return vwgt_.size(); }
   /// Number of distinct directed edges (parallel edges collapsed).
   std::uint64_t num_edges() const { return num_dir_edges_; }

@@ -339,6 +339,21 @@ PipelineReport analyze_pipeline_trace(const ParsedTrace& trace) {
 
   const double busy_a = merge_union(aggregate_ivs);
   const double busy_b = merge_union(apply_flush_ivs);
+
+  // A degenerate pipeline trace — a single span, or spans so short the
+  // wall extent (or every stage's busy time) rounds to zero — has no
+  // measurable overlap or speedup. Say so explicitly instead of dividing
+  // by zero into a speedup of 0, which used to read as a confident
+  // "serial" recommendation.
+  if (report.wall_ms <= 0 || busy_a + busy_b <= 0 ||
+      report.windows_aggregated + report.windows_applied < 2) {
+    report.bottleneck = "insufficient_data";
+    report.recommendation = "insufficient_data";
+    report.serial_estimate_ms =
+        report.aggregate_ms + report.apply_ms + report.flush_ms;
+    return report;
+  }
+
   report.overlap_ms = intersect_length(aggregate_ivs, apply_flush_ivs);
   const double smaller = std::min(busy_a, busy_b);
   report.overlap_fraction = smaller > 0 ? report.overlap_ms / smaller : 0;

@@ -92,14 +92,17 @@ struct PipelineReport {
 
   // Critical-path decomposition: which side the wall clock is waiting on.
   // aggregate-bound (consumer starved), apply-bound (producer blocked),
-  // queue-bound (both stall — capacity/burstiness), balanced, no-pipeline.
+  // queue-bound (both stall — capacity/burstiness), balanced, no-pipeline,
+  // or insufficient_data (pipeline spans present but too few/short to
+  // measure — see analyze_pipeline_trace).
   std::string bottleneck = "no-pipeline";
   double prefetch_fraction = 0;
   double backpressure_fraction = 0;
 
   // Serial-vs-pipelined verdict: the serial estimate is the sum of both
   // stages' productive time (what one thread doing everything would
-  // spend); speedup = estimate / measured wall.
+  // spend); speedup = estimate / measured wall. Recommendation is one of
+  // "pipelined", "serial", "tie", "no-pipeline", or "insufficient_data".
   double serial_estimate_ms = 0;
   double speedup = 0;
   std::string recommendation = "no-pipeline";
@@ -107,7 +110,11 @@ struct PipelineReport {
 
 /// Computes the report from a parsed trace. A trace with no
 /// pipeline/aggregate or pipeline/apply spans yields bottleneck ==
-/// recommendation == "no-pipeline" with zeroed stage fields.
+/// recommendation == "no-pipeline" with zeroed stage fields. A trace
+/// with pipeline spans but nothing measurable — zero wall extent, zero
+/// total stage busy time, or fewer than two windows — yields bottleneck
+/// == recommendation == "insufficient_data" with speedup left at 0
+/// (rather than a division-by-zero "serial" verdict).
 PipelineReport analyze_pipeline_trace(const ParsedTrace& trace);
 
 /// Schema-versioned report JSON (one object; see PipelineReport).

@@ -121,6 +121,8 @@ StrategyRunReport run_strategy(const Scenario& scenario,
   cfg.telemetry = sink.get();
   cfg.consumer = &set;
   cfg.replay_threads = build.replay_threads;
+  cfg.queue_capacity = build.queue_capacity;
+  cfg.aggregation_shards = build.aggregation_shards;
 
   // Bracket the replay with a peak-RSS reset so the reported high-water
   // mark is attributable to this (scenario, strategy) cell alone.

@@ -111,7 +111,12 @@ class BoundedQueue {
   }
 
   /// Idempotent. Wakes every waiter; subsequent push() returns false and
-  /// pop() drains the remaining items, then returns std::nullopt.
+  /// pop() drains the remaining items exactly once, then returns
+  /// std::nullopt. Safe to call while a producer is blocked in push() at
+  /// capacity: closed_ flips under the queue mutex and not_full_ is
+  /// notified after, so the blocked push's wait predicate
+  /// (`... || closed_`) re-evaluates true and push returns false instead
+  /// of sleeping forever. tests/util_test.cpp pins both behaviours.
   void close() {
     {
       const std::lock_guard<std::mutex> lock(mu_);

@@ -6,9 +6,11 @@
 #   2. `trace_report` must ingest that trace and emit a schema-versioned
 #      report whose stage counts prove the pipeline actually ran.
 #
-# This is a schema/plumbing check, not a perf gate: the report's verdict
-# (pipelined vs serial) is workload- and host-dependent and deliberately
-# not asserted. Usage:
+# On a multi-core host this is also a perf gate: a verdict of "serial"
+# for the pipelined smoke means the pipelined replay lost to the serial
+# estimate again — the regression this tooling exists to catch — so the
+# check fails. Single-core hosts can't win the overlap by construction
+# and only assert schema/plumbing there. Usage:
 #   cmake -DCLI=<ethshard> -DTRACE_REPORT=<trace_report> -DWORKDIR=<scratch>
 #         -P pipeline_profile.cmake
 
@@ -92,6 +94,25 @@ string(JSON verdict GET "${report_text}" verdict recommendation)
 if(verdict STREQUAL "no-pipeline")
   message(FATAL_ERROR
     "trace of a --replay-threads 2 run analyzed as no-pipeline")
+endif()
+# The smoke replays dozens of windows; a degenerate-trace verdict here
+# means the instrumentation (not the workload) broke.
+if(verdict STREQUAL "insufficient_data")
+  message(FATAL_ERROR
+    "pipelined smoke with ${applied} applied windows analyzed as "
+    "insufficient_data")
+endif()
+# Perf gate (multi-core runners only): the pipelined smoke must not
+# analyze as serial-preferred — that is the exact regression signature
+# the trace tooling was built to catch.
+include(ProcessorCount)
+ProcessorCount(ncores)
+if(ncores GREATER 1 AND verdict STREQUAL "serial")
+  string(JSON speedup GET "${report_text}" verdict speedup)
+  message(FATAL_ERROR
+    "pipelined smoke analyzed as serial-preferred on a ${ncores}-core "
+    "host (speedup ${speedup}) — the pipelined replay is losing to its "
+    "own serial estimate again")
 endif()
 
 message(STATUS

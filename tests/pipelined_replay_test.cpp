@@ -47,15 +47,33 @@ struct RunOutput {
   std::string telemetry;  // JSONL; empty when no sink was attached
 };
 
+/// Extra replay knobs beyond the thread count. Defaults mirror
+/// SimulatorConfig; the auto_* fields only matter for replay_threads=0.
+struct ReplayKnobs {
+  std::size_t aggregation_shards = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t auto_probe_windows = 24;
+  double auto_min_speedup = 1.05;
+  /// Pretend the host has this many hardware threads so replay_threads=0
+  /// takes the probe path even on single-core CI runners.
+  std::size_t auto_hw_override = 2;
+};
+
 RunOutput run_with(const workload::History& history, const std::string& spec,
                    std::uint32_t k, LoadModel load_model,
-                   std::size_t replay_threads, bool with_telemetry) {
+                   std::size_t replay_threads, bool with_telemetry,
+                   const ReplayKnobs& knobs = {}) {
   const auto strategy = StrategyRegistry::global().make(spec,
                                                        /*default_seed=*/7);
   SimulatorConfig cfg;
   cfg.k = k;
   cfg.load_model = load_model;
   cfg.replay_threads = replay_threads;
+  cfg.aggregation_shards = knobs.aggregation_shards;
+  cfg.queue_capacity = knobs.queue_capacity;
+  cfg.auto_probe_windows = knobs.auto_probe_windows;
+  cfg.auto_min_speedup = knobs.auto_min_speedup;
+  cfg.auto_hw_override = knobs.auto_hw_override;
   std::ostringstream os;
   std::unique_ptr<TelemetrySink> sink;
   if (with_telemetry) {
@@ -154,8 +172,10 @@ constexpr Cell kCells[] = {
 };
 
 // replay_threads values beyond the serial reference: forced pipeline
-// (2), deeper prefetch queue (4), and auto (0 — hardware count, which on
-// a single-core host legitimately resolves back to the serial path).
+// (2), deeper prefetch queue (4), and auto (0 — starts the pipeline and
+// runs the measured probe, which may fall back to serial mid-run; both
+// outcomes must be bit-identical, so the default probe settings are fine
+// here).
 constexpr std::size_t kThreadCounts[] = {2, 4, 0};
 
 TEST(PipelinedReplayDifferential, BitIdenticalAcrossStrategiesAndLoadModels) {
@@ -177,6 +197,68 @@ TEST(PipelinedReplayDifferential, BitIdenticalAcrossStrategiesAndLoadModels) {
                   normalized_telemetry(piped.telemetry))
             << label;
       }
+    }
+  }
+}
+
+// The sharded Stage A merge (DESIGN.md §6d): splitting each window's
+// block span into 1, 2 or 4 sub-ranges aggregated independently and
+// merged deterministically must reproduce the serial reference bit for
+// bit across every strategy family — result AND telemetry. shards=1
+// exercises the unified scan/merge path on a single span; 2 and 4 cover
+// the k-way pair/load merges and the candidate-placement filter.
+TEST(PipelinedReplayDifferential, AggregationShardSweepBitIdentical) {
+  const workload::History history = diff_history(99);
+  for (const Cell& cell : kCells) {
+    const RunOutput serial = run_with(history, cell.spec, cell.k,
+                                      LoadModel::kCalls, 1,
+                                      /*with_telemetry=*/true);
+    ASSERT_FALSE(serial.result.windows.empty()) << cell.spec;
+    for (const std::size_t shards : {1, 2, 4}) {
+      ReplayKnobs knobs;
+      knobs.aggregation_shards = shards;
+      const RunOutput piped =
+          run_with(history, cell.spec, cell.k, LoadModel::kCalls, 2,
+                   /*with_telemetry=*/true, knobs);
+      const std::string label =
+          std::string(cell.spec) + " agg_shards=" + std::to_string(shards);
+      expect_identical(serial.result, piped.result, label);
+      EXPECT_EQ(normalized_telemetry(serial.telemetry),
+                normalized_telemetry(piped.telemetry))
+          << label;
+    }
+  }
+}
+
+// The auto mode's two outcomes, each forced deterministically:
+// auto_min_speedup=0 can never trigger the fallback (staged time is
+// never < 0), so the run stays pipelined end to end; an absurdly large
+// threshold always triggers it, so the run falls back after the probe
+// and replays the remainder serially mid-run. Both must match the
+// serial reference exactly — the fallback path in particular covers the
+// producer's resume-point handoff and the consumer-side drain.
+TEST(PipelinedReplayDifferential, AutoProbeBothOutcomesBitIdentical) {
+  const workload::History history = diff_history(99);
+  for (const Cell& cell : {kCells[0], kCells[1]}) {
+    const RunOutput serial = run_with(history, cell.spec, cell.k,
+                                      LoadModel::kCalls, 1,
+                                      /*with_telemetry=*/true);
+    ReplayKnobs stay;
+    stay.auto_min_speedup = 0;  // probe always says "pipeline wins"
+    ReplayKnobs fall;
+    fall.auto_min_speedup = 1e9;  // probe always says "serial wins"
+    fall.auto_probe_windows = 4;  // decide early, leaving a long tail
+    for (const auto& [knobs, tag] :
+         {std::pair<ReplayKnobs, const char*>{stay, "stay-pipelined"},
+          std::pair<ReplayKnobs, const char*>{fall, "mid-run fallback"}}) {
+      const RunOutput piped = run_with(history, cell.spec, cell.k,
+                                       LoadModel::kCalls, 0,
+                                       /*with_telemetry=*/true, knobs);
+      const std::string label = std::string(cell.spec) + " auto " + tag;
+      expect_identical(serial.result, piped.result, label);
+      EXPECT_EQ(normalized_telemetry(serial.telemetry),
+                normalized_telemetry(piped.telemetry))
+          << label;
     }
   }
 }

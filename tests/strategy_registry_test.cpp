@@ -303,6 +303,49 @@ TEST(StrategyRegistryTest, ReplayThreadsIsConsumedForEveryStrategy) {
             nullptr);
 }
 
+TEST(StrategyRegistryTest, ReplayPipelineKeysAreConsumed) {
+  // "auto" spells the measured auto mode (same as 0 / the absent default).
+  EXPECT_EQ(StrategyRegistry::global()
+                .make_build("hashing:replay_threads=auto", 7)
+                .replay_threads,
+            0u);
+  const core::StrategyBuild tuned = StrategyRegistry::global().make_build(
+      "kl:replay_threads=2,queue_capacity=16,agg_shards=4", 7);
+  ASSERT_NE(tuned.strategy, nullptr);
+  EXPECT_EQ(tuned.replay_threads, 2u);
+  EXPECT_EQ(tuned.queue_capacity, 16u);
+  EXPECT_EQ(tuned.aggregation_shards, 4u);
+  // Defaults when absent: 0 = derived/auto for all three knobs.
+  const core::StrategyBuild plain =
+      StrategyRegistry::global().make_build("hashing", 7);
+  EXPECT_EQ(plain.queue_capacity, 0u);
+  EXPECT_EQ(plain.aggregation_shards, 0u);
+  // "agg_shards=auto" is accepted like replay_threads=auto.
+  EXPECT_EQ(StrategyRegistry::global()
+                .make_build("hashing:agg_shards=auto", 7)
+                .aggregation_shards,
+            0u);
+}
+
+TEST(StrategyRegistryTest, BadReplayPipelineValuesAreNamed) {
+  expect_failure_mentioning(
+      [] {
+        StrategyRegistry::global().make_build("hashing:queue_capacity=abc", 7);
+      },
+      "key 'queue_capacity'");
+  expect_failure_mentioning(
+      [] {
+        StrategyRegistry::global().make_build("hashing:queue_capacity=100000",
+                                              7);
+      },
+      "queue_capacity");
+  expect_failure_mentioning(
+      [] {
+        StrategyRegistry::global().make_build("hashing:agg_shards=128", 7);
+      },
+      "agg_shards");
+}
+
 TEST(StrategyRegistryTest, BadReplayThreadsValuesAreNamed) {
   expect_failure_mentioning(
       [] {

@@ -213,6 +213,40 @@ TEST(StreamingDifferential, GeneratedMatchesMaterialized) {
   }
 }
 
+// The auto mode's mid-run fallback on a streaming source: an absurd
+// probe threshold forces the pipeline to give up after a few windows,
+// handing the in-flight partial window back from the producer's binner
+// and draining the rest of the source serially. That resume path must
+// still be bit-identical to a fully serial materialized run.
+TEST(StreamingDifferential, AutoFallbackMidStreamBitIdentical) {
+  const workload::GeneratorConfig cfg = diff_config(99);
+  const workload::History history =
+      workload::EthereumHistoryGenerator(cfg).generate();
+  for (const Cell& cell : {kCells[0], kCells[1]}) {
+    const RunOutput serial = run_history(history, cell.spec, cell.k,
+                                         LoadModel::kCalls, 1,
+                                         /*with_telemetry=*/true);
+    const auto strategy =
+        StrategyRegistry::global().make(cell.spec, /*default_seed=*/7);
+    SimulatorConfig sim_cfg = sim_config(cell.k, LoadModel::kCalls, 0);
+    sim_cfg.auto_min_speedup = 1e9;  // probe always says "serial wins"
+    sim_cfg.auto_probe_windows = 4;  // decide early, leaving a long tail
+    sim_cfg.auto_hw_override = 2;    // take the probe path even on 1 core
+    std::ostringstream os;
+    const auto sink = std::make_unique<TelemetrySink>(os);
+    sim_cfg.telemetry = sink.get();
+    workload::GeneratedSource source(cfg);
+    ShardingSimulator sim(source, *strategy, sim_cfg);
+    const SimulationResult streamed = sim.run();
+    const std::string label =
+        std::string(cell.spec) + " streaming auto fallback";
+    expect_identical(serial.result, streamed, label);
+    EXPECT_EQ(normalized_telemetry(serial.telemetry),
+              normalized_telemetry(os.str()))
+        << label;
+  }
+}
+
 // Draining a GeneratedSource reproduces generate() exactly — same hash
 // chain, same block count, and the directory only materializes at
 // end-of-stream.

@@ -24,6 +24,7 @@
 #include "util/hash.hpp"
 #include "util/pipeline.hpp"
 #include "util/rng.hpp"
+#include "util/slot_map.hpp"
 #include "util/sim_time.hpp"
 
 namespace ethshard::util {
@@ -595,6 +596,74 @@ TEST(Check, MessageIsIncluded) {
   }
 }
 
+// --------------------------------------------------------------- SlotMap
+
+TEST(SlotMap, InsertThenLookup) {
+  SlotMap m;
+  auto [v1, fresh1] = m.try_emplace(42, 7);
+  EXPECT_TRUE(fresh1);
+  EXPECT_EQ(v1, 7u);
+  auto [v2, fresh2] = m.try_emplace(42, 99);
+  EXPECT_FALSE(fresh2);   // key already present: value untouched
+  EXPECT_EQ(v2, 7u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SlotMap, ValueReferenceIsMutable) {
+  SlotMap m;
+  m.try_emplace(5, 0).first = 123;
+  EXPECT_EQ(m.try_emplace(5, 0).first, 123u);
+}
+
+TEST(SlotMap, ClearForgetsEverythingButKeepsCapacity) {
+  SlotMap m(16);
+  for (std::uint64_t k = 0; k < 10; ++k) m.try_emplace(k, 1);
+  const std::size_t cap = m.capacity();
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  // Every key reads as absent again (fresh insert succeeds).
+  for (std::uint64_t k = 0; k < 10; ++k)
+    EXPECT_TRUE(m.try_emplace(k, 2).second);
+}
+
+TEST(SlotMap, GrowthPreservesLiveEntries) {
+  SlotMap m(16);
+  constexpr std::uint64_t kKeys = 10000;
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    EXPECT_TRUE(m.try_emplace(k * 0x9e3779b97f4a7c15ULL,
+                              static_cast<std::uint32_t>(k))
+                    .second);
+  EXPECT_EQ(m.size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    auto [v, fresh] = m.try_emplace(k * 0x9e3779b97f4a7c15ULL, 0);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(v, static_cast<std::uint32_t>(k));
+  }
+}
+
+TEST(SlotMap, ManyClearCyclesStayIndependent) {
+  // The epoch trick must make every cleared generation read as empty —
+  // a stale slot leaking through would show up as fresh == false.
+  SlotMap m(16);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    for (std::uint64_t k = 0; k < 8; ++k)
+      EXPECT_TRUE(m.try_emplace(k, static_cast<std::uint32_t>(cycle)).second);
+    EXPECT_EQ(m.size(), 8u);
+    m.clear();
+  }
+}
+
+TEST(SlotMap, PackedPairKeysDoNotCollide) {
+  // The aggregator packs (lo << 32 | hi) vertex pairs — keys differing
+  // only in the high half must still land in distinct slots.
+  SlotMap m;
+  for (std::uint64_t lo = 0; lo < 64; ++lo)
+    for (std::uint64_t hi = lo; hi < 64; ++hi)
+      EXPECT_TRUE(m.try_emplace((lo << 32) | hi, 0).second);
+  EXPECT_EQ(m.size(), 64u * 65u / 2u);
+}
+
 // ---------------------------------------------------------- BoundedQueue
 
 TEST(BoundedQueue, FifoThroughOneThread) {
@@ -662,6 +731,42 @@ TEST(BoundedQueue, FailRethrowsInConsumerAfterDrain) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "producer exploded");
   }
+}
+
+TEST(BoundedQueue, CloseWakesProducerBlockedAtCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));  // queue now full
+  std::atomic<int> refused{0};
+  std::thread producer([&] {
+    // Blocks at capacity; close() below must wake it, and the push must
+    // be refused rather than enqueued into a closed queue.
+    if (!q.push(3)) refused.fetch_add(1);
+  });
+  // Give the producer time to reach the blocked cv.wait before closing,
+  // so this exercises the wakeup rather than the fast-path refusal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();  // hangs forever here if close() fails to wake push()
+  EXPECT_EQ(refused.load(), 1);
+  // The refused item was dropped, not enqueued.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, PopAfterCloseDrainsRemainingItemsExactlyOnce) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(10));
+  EXPECT_TRUE(q.push(11));
+  EXPECT_TRUE(q.push(12));
+  q.close();
+  std::vector<int> drained;
+  while (const std::optional<int> v = q.pop()) drained.push_back(*v);
+  EXPECT_EQ(drained, (std::vector<int>{10, 11, 12}));
+  // Once drained, pop stays empty — no item is delivered twice.
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);
 }
 
 TEST(BoundedQueue, MoveOnlyPayloadsWork) {

@@ -103,12 +103,17 @@ int usage() {
       "                       leftover budget). 0 (default) = serial\n"
       "                       partitioner / hardware-sized grid. Results\n"
       "                       never depend on N (mt-MLKP determinism)\n"
-      "  --replay-threads N   window-replay pipelining: 0 (default) =\n"
-      "                       hardware, 1 = serial per-call replay, >=2 =\n"
-      "                       a background worker aggregates window W+1\n"
-      "                       while W is applied (N-2 extra prefetch-queue\n"
-      "                       slots). Bit-identical results at every N;\n"
-      "                       the spec key 'replay_threads=' overrides\n"
+      "  --replay-threads N   window-replay pipelining: auto (= 0, the\n"
+      "                       default) starts pipelined and falls back to\n"
+      "                       serial when a short measured probe says the\n"
+      "                       pipeline can't win; 1 = serial per-call\n"
+      "                       replay; >=2 = pipelined unconditionally (a\n"
+      "                       background worker aggregates window W+1\n"
+      "                       while W is applied). Bit-identical results\n"
+      "                       at every N; the spec keys 'replay_threads=',\n"
+      "                       'queue_capacity=' (SPSC queue depth) and\n"
+      "                       'agg_shards=' (parallel Stage A sub-ranges\n"
+      "                       per window) tune the same machinery\n"
       "  --max-rss-mb N       fail (exit 1) if peak resident memory\n"
       "                       exceeds N MiB — pair with --stream to keep\n"
       "                       large-scale replays inside a budget\n"
@@ -298,6 +303,19 @@ int cmd_stats(const util::ArgParser& args) {
   return 0;
 }
 
+// --replay-threads accepts "auto" (the measured-probe mode, same as the
+// 0 default) alongside a plain count.
+std::size_t replay_threads_arg(const util::ArgParser& args) {
+  if (args.get("replay-threads", "0") == "auto") return 0;
+  const std::uint64_t n = args.get_uint("replay-threads", 0);
+  ETHSHARD_CHECK_MSG(n <= 1024,
+                     "--replay-threads "
+                         << n
+                         << " is not plausible — use 'auto' (or 0) for the "
+                            "measured auto mode or 1 for serial replay");
+  return static_cast<std::size_t>(n);
+}
+
 int cmd_simulate(const util::ArgParser& args) {
   // --stream replays through a pull-based BlockSource (generator or
   // trace file) and never materializes the chain; otherwise the whole
@@ -325,12 +343,14 @@ int cmd_simulate(const util::ArgParser& args) {
   core::SimulatorConfig cfg;
   cfg.k = k;
   // --replay-threads (or the spec's own "replay_threads=" key, which
-  // wins) selects serial vs pipelined window replay; the result is
-  // bit-identical either way, so this is purely a speed knob.
+  // wins) selects serial vs pipelined vs measured-auto window replay;
+  // the result is bit-identical either way, so this is purely a speed
+  // knob — as are the spec's queue_capacity= and agg_shards= keys.
   cfg.replay_threads = build.replay_threads != 0
                            ? build.replay_threads
-                           : static_cast<std::size_t>(
-                                 args.get_uint("replay-threads", 0));
+                           : replay_threads_arg(args);
+  cfg.queue_capacity = build.queue_capacity;
+  cfg.aggregation_shards = build.aggregation_shards;
   std::unique_ptr<core::TelemetrySink> telemetry;
   const std::string telemetry_path = args.get("telemetry-out", "");
   if (!telemetry_path.empty()) {
@@ -549,8 +569,7 @@ int cmd_compare(const util::ArgParser& args) {
   cfg.partitioner_threads = 0;
   // Per-cell replay pipelining; run_experiment caps it against the grid
   // workers, and a cell capped to 1 is bit-identical serial replay.
-  cfg.replay_threads =
-      static_cast<std::size_t>(args.get_uint("replay-threads", 0));
+  cfg.replay_threads = replay_threads_arg(args);
 
   const std::string shards = args.get("shards", "2,4,8");
   cfg.shard_counts.clear();
@@ -619,13 +638,7 @@ int main(int argc, char** argv) {
                                     << " is not plausible — use 0 for the "
                                        "default (serial partitioner / "
                                        "hardware-sized grid)");
-    const std::uint64_t replay_threads_flag =
-        args.get_uint("replay-threads", 0);
-    ETHSHARD_CHECK_MSG(replay_threads_flag <= 1024,
-                       "--replay-threads "
-                           << replay_threads_flag
-                           << " is not plausible — use 0 for hardware "
-                              "concurrency or 1 for serial replay");
+    replay_threads_arg(args);  // validates the count / "auto" up front
 
     int rc;
     if (command == "generate") {

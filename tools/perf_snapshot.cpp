@@ -14,16 +14,20 @@
 //
 // Snapshot schema (v1):
 //   {"schema_version": 1, "stamp": "...", "git_sha": "...",
-//    "hostname": "...", "threads": N, "replay_threads": N,
-//    "scale": F, "seed": N, "entries": [
-//      {"name": "...", "reps": N, "threads": N, "wall_ms": F,
-//       "p50_ms": F, "p99_ms": F, "peak_rss_mb": F}, ...]}
-// The per-entry "threads" records the thread knob that bench ran with
-// (partitioner threads for mlkp_*, replay threads for simulate_*);
-// "peak_rss_mb" is the resident high-water mark over that bench's reps
-// (util::reset_peak_rss before each bench; 0 when the platform cannot
-// measure it). The checker's field scanner ignores keys it does not
-// know, so baselines without them stay valid.
+//    "hostname": "...", "threads": N, "requested_threads": N,
+//    "replay_threads": N, "scale": F, "seed": N, "entries": [
+//      {"name": "...", "reps": N, "threads": N, "requested_threads": N,
+//       "wall_ms": F, "p50_ms": F, "p99_ms": F, "peak_rss_mb": F}, ...]}
+// The per-entry "threads" records the *effective* thread knob that bench
+// ran with (partitioner threads for mlkp_*, replay threads for
+// simulate_*) and "requested_threads" the pre-clamp ask — they differ
+// only when --threads exceeded the host's hardware count (a stderr
+// warning flags the clamp), and requested_threads is 0 on the entries
+// that use replay_threads=auto. "peak_rss_mb" is the resident
+// high-water mark over that bench's reps (util::reset_peak_rss before
+// each bench; 0 when the platform cannot measure it). The checker's
+// field scanner ignores keys it does not know, so baselines without
+// them stay valid.
 // Baseline schema (v1): entries carry "name", "wall_ms" and an optional
 // "tolerance" ratio (default 2.5: fail when snapshot wall_ms exceeds
 // 2.5x the baseline).
@@ -64,7 +68,12 @@ using namespace ethshard;
 struct BenchResult {
   std::string name;
   int reps = 0;
-  std::size_t threads = 1;  // thread knob the bench was configured with
+  std::size_t threads = 1;  // effective thread knob the bench ran with
+  /// The thread count that was *asked for* (--threads, or the bench's
+  /// pinned value) before any hardware clamp. Differs from `threads`
+  /// only when the host has fewer cores than requested — recording both
+  /// keeps mt-vs-serial comparisons honest on small hosts.
+  std::size_t requested_threads = 1;
   double wall_ms = 0;       // median of the reps
   double p50_ms = 0;
   double p99_ms = 0;
@@ -79,7 +88,10 @@ double quantile_of(std::vector<double> sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
-BenchResult run_bench(const std::string& name, int reps, std::size_t threads,
+/// `requested` is the pre-clamp thread ask; pass the same value as
+/// `threads` for benches whose knob is pinned rather than clamped.
+BenchResult run_bench(const std::string& name, int reps,
+                      std::size_t requested, std::size_t threads,
                       const std::function<void()>& body) {
   // Bracket this bench's memory: the high-water mark read afterwards
   // covers only these reps, not whatever a previous bench allocated.
@@ -97,6 +109,7 @@ BenchResult run_bench(const std::string& name, int reps, std::size_t threads,
   res.name = name;
   res.reps = reps;
   res.threads = threads;
+  res.requested_threads = requested;
   res.wall_ms = quantile_of(samples, 0.5);
   res.p50_ms = res.wall_ms;
   res.p99_ms = quantile_of(samples, 0.99);
@@ -164,8 +177,16 @@ int cmd_run(const util::ArgParser& args) {
   const double scale = bench::scale_from_env();
   const std::uint64_t seed = bench::seed_from_env();
   const int reps = reps_from_env(static_cast<int>(args.get_uint("reps", 3)));
-  const std::size_t threads = std::min<std::size_t>(
-      args.get_uint("threads", 4), util::default_thread_count());
+  const std::size_t requested_threads =
+      static_cast<std::size_t>(args.get_uint("threads", 4));
+  const std::size_t threads =
+      std::min(requested_threads, util::default_thread_count());
+  if (threads != requested_threads)
+    std::fprintf(stderr,
+                 "[perf] warning: --threads %zu clamped to %zu (host has "
+                 "%zu hardware threads); mt entries will record both "
+                 "requested and effective counts\n",
+                 requested_threads, threads, util::default_thread_count());
 
   // Graph size tracks the scale knob so smoke runs stay sub-second. The
   // _large variants use a 10x graph: at the default scale the base graph
@@ -181,57 +202,76 @@ int cmd_run(const util::ArgParser& args) {
   const graph::Graph ba_large =
       graph::make_barabasi_albert(n_large, 4, rng_large);
   const workload::History history = bench::make_history(scale, seed);
-  // Auto replay (replay_threads = 0) resolves to the hardware count.
-  const std::size_t auto_replay = util::default_thread_count();
+  // Auto replay (replay_threads = 0): on hosts with >= 2 hardware
+  // threads it starts the pipeline at this width and runs the measured
+  // probe, falling back to serial mid-run when the pipeline cannot win;
+  // on single-core hosts it resolves straight to serial (width 1). Auto
+  // entries record requested_threads = 0 (the auto sentinel) and
+  // threads = the resolved starting width.
+  const std::size_t auto_replay =
+      util::default_thread_count() < 2 ? 1 : util::default_thread_count();
 
   std::vector<BenchResult> results;
-  results.push_back(run_bench("mlkp_partition_serial", reps, 1, [&] {
+  results.push_back(run_bench("mlkp_partition_serial", reps, 1, 1, [&] {
     partition::MlkpConfig cfg;
     cfg.seed = seed;
     cfg.threads = 1;
     partition::MlkpPartitioner(cfg).partition(ba, 8);
   }));
-  results.push_back(run_bench("mlkp_partition_mt", reps, threads, [&] {
-    partition::MlkpConfig cfg;
-    cfg.seed = seed;
-    cfg.threads = threads;
-    partition::MlkpPartitioner(cfg).partition(ba, 8);
-  }));
-  results.push_back(run_bench("mlkp_partition_serial_large", reps, 1, [&] {
-    partition::MlkpConfig cfg;
-    cfg.seed = seed;
-    cfg.threads = 1;
-    partition::MlkpPartitioner(cfg).partition(ba_large, 8);
-  }));
-  results.push_back(run_bench("mlkp_partition_mt_large", reps, threads, [&] {
-    partition::MlkpConfig cfg;
-    cfg.seed = seed;
-    cfg.threads = threads;
-    partition::MlkpPartitioner(cfg).partition(ba_large, 8);
-  }));
-  results.push_back(run_bench("parallel_matching_mt", reps, threads, [&] {
-    partition::parallel_matching(ba, partition::MatchingScheme::kHeavyEdge,
-                                 seed, threads);
-  }));
-  results.push_back(run_bench("simulate_hashing", reps, auto_replay, [&] {
+  results.push_back(
+      run_bench("mlkp_partition_mt", reps, requested_threads, threads, [&] {
+        partition::MlkpConfig cfg;
+        cfg.seed = seed;
+        cfg.threads = threads;
+        partition::MlkpPartitioner(cfg).partition(ba, 8);
+      }));
+  results.push_back(
+      run_bench("mlkp_partition_serial_large", reps, 1, 1, [&] {
+        partition::MlkpConfig cfg;
+        cfg.seed = seed;
+        cfg.threads = 1;
+        partition::MlkpPartitioner(cfg).partition(ba_large, 8);
+      }));
+  results.push_back(run_bench("mlkp_partition_mt_large", reps,
+                              requested_threads, threads, [&] {
+                                partition::MlkpConfig cfg;
+                                cfg.seed = seed;
+                                cfg.threads = threads;
+                                partition::MlkpPartitioner(cfg).partition(
+                                    ba_large, 8);
+                              }));
+  results.push_back(
+      run_bench("parallel_matching_mt", reps, requested_threads, threads, [&] {
+        partition::parallel_matching(ba, partition::MatchingScheme::kHeavyEdge,
+                                     seed, threads);
+      }));
+  results.push_back(run_bench("simulate_hashing", reps, 0, auto_replay, [&] {
     bench::simulate(history, core::Method::kHashing, 4, seed);
   }));
-  // Same cell with the replay pipeline pinned on (replay_threads = 2):
+  // The same cell with the replay mode pinned both ways: serial
+  // (replay_threads = 1) is the baseline the pipelined and auto entries
+  // are judged against, and the pinned pipeline (replay_threads = 2)
   // locks in the pipelined-replay win even if the simulator's default
-  // ever changes, and isolates it from the auto-detection path.
-  results.push_back(run_bench("simulate_hashing_pipelined", reps, 2, [&] {
+  // ever changes, isolated from the auto-detection path.
+  results.push_back(run_bench("simulate_hashing_serial", reps, 1, 1, [&] {
+    bench::simulate(history, core::Method::kHashing, 4, seed, 1);
+  }));
+  results.push_back(run_bench("simulate_hashing_pipelined", reps, 2, 2, [&] {
     bench::simulate(history, core::Method::kHashing, 4, seed, 2);
   }));
-  results.push_back(run_bench("simulate_rmetis", reps, auto_replay, [&] {
+  results.push_back(run_bench("simulate_rmetis", reps, 0, auto_replay, [&] {
     bench::simulate(history, core::Method::kRMetis, 4, seed);
   }));
   // Migration-heavy cell: KL (the balanced-label-propagation scheme) at
   // k = 8 moves vertices between shards every period, stressing the
   // incremental static-cut maintenance and window-graph construction.
-  results.push_back(run_bench("simulate_blp_k8", reps, auto_replay, [&] {
+  results.push_back(run_bench("simulate_blp_k8", reps, 0, auto_replay, [&] {
     bench::simulate(history, core::Method::kKl, 8, seed);
   }));
-  results.push_back(run_bench("simulate_blp_k8_pipelined", reps, 2, [&] {
+  results.push_back(run_bench("simulate_blp_k8_serial", reps, 1, 1, [&] {
+    bench::simulate(history, core::Method::kKl, 8, seed, 1);
+  }));
+  results.push_back(run_bench("simulate_blp_k8_pipelined", reps, 2, 2, [&] {
     bench::simulate(history, core::Method::kKl, 8, seed, 2);
   }));
   // Many-call transaction shape: attack spam fanning out to ~200 dummy
@@ -243,7 +283,7 @@ int cmd_run(const util::ArgParser& args) {
   manycall_cfg.attack_dummies_per_tx = 200;
   const workload::History manycall_history =
       workload::EthereumHistoryGenerator(manycall_cfg).generate();
-  results.push_back(run_bench("simulate_manycall", reps, 1, [&] {
+  results.push_back(run_bench("simulate_manycall", reps, 1, 1, [&] {
     bench::simulate(manycall_history, core::Method::kHashing, 4, seed, 1);
   }));
   // Long-gap trace: the same history with an 80-year quiet period spliced
@@ -255,7 +295,7 @@ int cmd_run(const util::ArgParser& args) {
                      : (blocks.front().timestamp + blocks.back().timestamp) / 2;
   const workload::History gap_history =
       workload::with_traffic_gap(history, mid, 80 * 365 * util::kDay);
-  results.push_back(run_bench("simulate_longgap", reps, auto_replay, [&] {
+  results.push_back(run_bench("simulate_longgap", reps, 0, auto_replay, [&] {
     bench::simulate(gap_history, core::Method::kHashing, 4, seed);
   }));
   // Streaming cell: the same hashing workload, but the simulator pulls
@@ -264,7 +304,7 @@ int cmd_run(const util::ArgParser& args) {
   // roughly simulate_hashing plus the generate() cost the other cells
   // pay outside their timed region), with the peak_rss_mb column
   // showing the whole-history copy it avoids.
-  results.push_back(run_bench("simulate_streaming", reps, auto_replay, [&] {
+  results.push_back(run_bench("simulate_streaming", reps, 0, auto_replay, [&] {
     workload::GeneratorConfig cfg;
     cfg.scale = scale;
     cfg.seed = seed;
@@ -278,7 +318,7 @@ int cmd_run(const util::ArgParser& args) {
   // Pure generation at 10x scale, drained block-by-block without ever
   // holding more than one block: bounds the generator's own footprint
   // (registry + mempool) separately from any simulator state.
-  results.push_back(run_bench("generate_streaming_large", reps, 1, [&] {
+  results.push_back(run_bench("generate_streaming_large", reps, 1, 1, [&] {
     workload::GeneratorConfig cfg;
     cfg.scale = scale * 10;
     cfg.seed = seed;
@@ -288,7 +328,7 @@ int cmd_run(const util::ArgParser& args) {
     while (source.next(block)) txs += block.transactions.size();
     ETHSHARD_CHECK(txs > 0);
   }));
-  results.push_back(run_bench("obs_histogram_record", reps, 1, [&] {
+  results.push_back(run_bench("obs_histogram_record", reps, 1, 1, [&] {
     obs::Histogram h;
     for (int i = 0; i < 1000000; ++i)
       h.record(static_cast<double>((i % 997) + 1));
@@ -306,6 +346,7 @@ int cmd_run(const util::ArgParser& args) {
       << "  \"git_sha\": \"" << git_sha() << "\",\n"
       << "  \"hostname\": \"" << host_name() << "\",\n"
       << "  \"threads\": " << threads << ",\n"
+      << "  \"requested_threads\": " << requested_threads << ",\n"
       << "  \"replay_threads\": " << auto_replay << ",\n"
       << "  \"scale\": " << fmt(scale) << ",\n"
       << "  \"seed\": " << seed << ",\n"
@@ -314,6 +355,7 @@ int cmd_run(const util::ArgParser& args) {
     const BenchResult& r = results[i];
     out << "    {\"name\": \"" << r.name << "\", \"reps\": " << r.reps
         << ", \"threads\": " << r.threads
+        << ", \"requested_threads\": " << r.requested_threads
         << ", \"wall_ms\": " << fmt(r.wall_ms)
         << ", \"p50_ms\": " << fmt(r.p50_ms)
         << ", \"p99_ms\": " << fmt(r.p99_ms)
